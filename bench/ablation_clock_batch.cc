@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation A6 (paper §2.3): batched protection changes in the default
+ * manager's reference sampling.
+ *
+ * "To reduce the overhead of handling these faults, the default
+ * manager changes the protection on a number of contiguous pages,
+ * rather than a single page, when a fault occurs."
+ *
+ * A program with strong spatial locality re-touches a sampled region;
+ * the batch size trades sampling faults (each a full separate-process
+ * fault) against sampling precision.
+ */
+
+#include <cstdio>
+
+#include "apps/stack.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+
+namespace {
+
+struct SampleResult
+{
+    std::uint64_t samplingFaults;
+    double overheadMs;
+};
+
+SampleResult
+runSampling(std::uint64_t batch, std::uint64_t pages)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    apps::StackOptions opts;
+    opts.ucdsParams.protBatchPages = batch;
+    apps::VppStack stack(m, opts);
+    kernel::Process proc("app", 1);
+
+    kernel::SegmentId heap = runTask(
+        stack.sim, stack.ucds.createAnonymous("heap", pages, 1));
+    for (kernel::PageIndex p = 0; p < pages; ++p) {
+        runTask(stack.sim,
+                stack.kern.touchSegment(proc, heap, p,
+                                        kernel::AccessType::Write));
+    }
+    // Arm the sampler on every page, then sweep the heap
+    // sequentially, as a locality-friendly program would.
+    runTask(stack.sim, stack.ucds.clockPass(0));
+    sim::SimTime t0 = stack.sim.now();
+    std::uint64_t faults0 = stack.ucds.samplingFaults();
+    for (kernel::PageIndex p = 0; p < pages; ++p) {
+        runTask(stack.sim,
+                stack.kern.touchSegment(proc, heap, p,
+                                        kernel::AccessType::Read));
+    }
+    return {stack.ucds.samplingFaults() - faults0,
+            sim::toMsec(stack.sim.now() - t0)};
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t pages = 512; // 2 MB heap
+    std::printf("Ablation A6: protection-change batch size vs "
+                "sampling overhead\n(2 MB heap swept sequentially "
+                "after one clock pass)\n\n");
+
+    TextTable t({"Batch (pages)", "sampling faults", "sweep cost (ms)",
+                 "vs batch=1"});
+    double base = 0;
+    for (std::uint64_t batch : {1, 2, 4, 8, 16, 32}) {
+        SampleResult r = runSampling(batch, pages);
+        if (batch == 1)
+            base = r.overheadMs;
+        t.addRow({std::to_string(batch),
+                  std::to_string(r.samplingFaults),
+                  TextTable::num(r.overheadMs, 1),
+                  TextTable::num((1.0 - r.overheadMs / base) * 100.0,
+                                 1) +
+                      "%"});
+    }
+    t.print();
+    std::printf("\nLarger batches amortise the separate-process fault "
+                "cost at the price of\ncoarser reference information "
+                "for the clock.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation A2 (paper §1, §2.2): application-specific page coloring.
+ *
+ * A physically-indexed direct-mapped cache maps two frames of the
+ * same color to the same cache region. A program walking a working
+ * set of W consecutive virtual pages collides with itself whenever
+ * two of its pages share a color — which random frame allocation
+ * makes common and color-aware allocation (frames requested from the
+ * SPCM by color) eliminates while W fits in the cache.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "appmgr/coloring_mgr.h"
+#include "core/kernel.h"
+#include "hw/cache_model.h"
+#include "sim/random.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+
+namespace {
+
+struct MissResult
+{
+    double missRatio;
+    std::uint64_t misses;
+};
+
+/** Walk W pages repeatedly; count misses in a 64 KB direct cache. */
+MissResult
+runWalk(bool colored, std::uint32_t working_pages, std::uint64_t seed)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    kernel::Kernel kern(s, m);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+
+    const std::uint32_t colors = 16; // 64 KB cache / 4 KB pages
+
+    // The colored manager places page p on a frame of color p mod C;
+    // the baseline is a generic manager whose pool holds frames of
+    // random colors — what a conventional allocator hands out under
+    // load.
+    std::unique_ptr<mgr::GenericSegmentManager> manager;
+    if (colored) {
+        manager = std::make_unique<appmgr::ColoringManager>(
+            kern, &spcm, 1, colors);
+        manager->initNow(2048, 64);
+    } else {
+        manager = std::make_unique<mgr::GenericSegmentManager>(
+            kern, "random-mgr", hw::ManagerMode::SameProcess, &spcm,
+            1);
+        manager->initNow(2048, 0);
+        sim::Random shuffle(seed);
+        for (int i = 0; i < 64; ++i) {
+            runTask(s, manager->requestFrames(
+                           1, mgr::Constraint::pageColor(
+                                  static_cast<std::uint32_t>(
+                                      shuffle.below(colors)),
+                                  colors)));
+        }
+    }
+
+    kernel::SegmentId seg = kern.createSegmentNow(
+        "array", 4096, working_pages, 1, manager.get());
+    kernel::Process proc("walk", 1);
+
+    for (std::uint32_t p = 0; p < working_pages; ++p) {
+        runTask(s, kern.touchSegment(proc, seg, p,
+                                     kernel::AccessType::Write));
+    }
+
+    // Replay the walk against the cache model using the real
+    // physical addresses the pages ended up on.
+    hw::CacheModel cache(64 << 10, 16, 1, 4096);
+    auto attrs = kern.getPageAttributesNow(seg, 0, working_pages);
+    const int passes = 50;
+    const int lines_per_page = 4096 / 16;
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const auto &a : attrs) {
+            for (int l = 0; l < lines_per_page; l += 8)
+                cache.access(a.physAddr + l * 16);
+        }
+    }
+    return {cache.missRatio(), cache.misses()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation A2: page coloring vs random frame "
+                "allocation\n64 KB direct-mapped physically-indexed "
+                "cache, 16 colors, 50-pass walk\n\n");
+
+    TextTable t({"Working set", "random miss%", "colored miss%",
+                 "improvement"});
+    for (std::uint32_t pages : {8, 12, 16, 24, 32}) {
+        MissResult rnd = runWalk(false, pages, 1234 + pages);
+        MissResult col = runWalk(true, pages, 1234 + pages);
+        double improv =
+            rnd.missRatio > 0
+                ? (1.0 - col.missRatio / rnd.missRatio) * 100.0
+                : 0.0;
+        t.addRow({std::to_string(pages) + " pages",
+                  TextTable::num(rnd.missRatio * 100, 2),
+                  TextTable::num(col.missRatio * 100, 2),
+                  TextTable::num(improv, 1) + "%"});
+    }
+    t.print();
+    std::printf("\nUp to 16 pages (= the cache size) coloring removes "
+                "all conflict misses;\nbeyond it, collisions are "
+                "inevitable but still evenly spread.\n");
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation A1 (paper §2.4): the memory-market model of global
+ * allocation.
+ *
+ * Three claims to check:
+ *  1. proportional share — clients receive memory in proportion to
+ *     their dram income;
+ *  2. stability — holdings converge instead of oscillating;
+ *  3. batch save-and-run — a batch job can save drams while
+ *     quiescent, then afford a large allocation for a timeslice
+ *     ("runs as soon as the memory request is granted").
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/kernel.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+
+int
+main()
+{
+    // --- Proportional share -------------------------------------------
+    {
+        sim::Simulation s;
+        hw::MachineConfig m = hw::decstation5000_200();
+        m.memoryBytes = 64 << 20;
+        kernel::Kernel kern(s, m);
+        mgr::MarketParams params;
+        params.chargePerMBSec = 1.0;
+        params.grantHorizonSec = 1.0;
+        params.savingsTaxPerSec = 0.05;
+        params.freeWhenUncontended = false;
+        mgr::SystemPageCacheManager spcm(kern, params);
+
+        struct Client
+        {
+            const char *name;
+            double income;
+            std::unique_ptr<mgr::GenericSegmentManager> mgr;
+            std::uint64_t granted = 0;
+        };
+        std::vector<Client> clients;
+        clients.push_back({"batch-sim (income 8)", 8.0, nullptr});
+        clients.push_back({"dbms (income 4)", 4.0, nullptr});
+        clients.push_back({"editor (income 2)", 2.0, nullptr});
+        for (auto &c : clients) {
+            c.mgr = std::make_unique<mgr::GenericSegmentManager>(
+                kern, c.name, hw::ManagerMode::SameProcess, &spcm, 1);
+            spcm.account(c.mgr->spcmClient()).incomeRate = c.income;
+            runTask(s, c.mgr->init(16384, 0));
+        }
+
+        // Everyone greedily asks for 32 MB; the market limits each to
+        // what its income sustains.
+        s.schedule(sim::sec(5), [] {}); // accrue some income first
+        s.run();
+        for (auto &c : clients)
+            c.granted = runTask(s, c.mgr->requestFrames(8192));
+
+        std::printf("Ablation A1a: proportional share under the "
+                    "memory market\n(everyone requests 32 MB; charge "
+                    "1 dram/MB-s)\n\n");
+        TextTable t({"Client", "income (drams/s)", "granted (MB)",
+                     "MB per dram/s"});
+        for (auto &c : clients) {
+            double mb = c.granted * 4096.0 / (1 << 20);
+            t.addRow({c.name, TextTable::num(c.income, 0),
+                      TextTable::num(mb, 1),
+                      TextTable::num(mb / c.income, 2)});
+        }
+        t.print();
+    }
+
+    // --- Batch save-and-run ------------------------------------------
+    {
+        sim::Simulation s;
+        hw::MachineConfig m = hw::decstation5000_200();
+        m.memoryBytes = 64 << 20;
+        kernel::Kernel kern(s, m);
+        mgr::MarketParams params;
+        params.chargePerMBSec = 1.0;
+        params.grantHorizonSec = 1.0;
+        params.savingsTaxPerSec = 0.02;
+        params.freeWhenUncontended = false;
+        mgr::SystemPageCacheManager spcm(kern, params);
+
+        mgr::GenericSegmentManager batch(
+            kern, "batch", hw::ManagerMode::SameProcess, &spcm, 1);
+        spcm.account(batch.spcmClient()).incomeRate = 4.0;
+        runTask(s, batch.init(16384, 0));
+
+        std::printf("\nAblation A1b: batch job saves drams, buys a "
+                    "timeslice, pages out\n\n");
+        TextTable t({"t (s)", "phase", "balance (drams)",
+                     "holdings (MB)"});
+        auto snapshot = [&](const char *phase) {
+            auto info = runTask(s, spcm.query(batch.spcmClient()));
+            t.addRow({TextTable::num(sim::toSec(s.now()), 1), phase,
+                      TextTable::num(info.balance, 1),
+                      TextTable::num(
+                          spcm.account(batch.spcmClient()).bytesHeld /
+                              1048576.0,
+                          1)});
+        };
+
+        snapshot("start (quiescent, saving)");
+        s.runUntil(sim::sec(8)); // save 8 s of income
+        snapshot("saved up");
+        // The §2.4 policy: query the SPCM, size the request to what
+        // the savings can sustain for the planned timeslice.
+        auto info = runTask(s, spcm.query(batch.spcmClient()));
+        double slice_sec = 2.0;
+        std::uint64_t frames = static_cast<std::uint64_t>(
+            (info.balance / slice_sec + 4.0) / 1.0 // drams/MB-s
+            * (1 << 20) / 4096);
+        std::uint64_t got =
+            runTask(s, batch.requestFrames(frames));
+        snapshot("granted timeslice memory");
+        s.runUntil(sim::sec(10)); // compute for the slice, paying
+        snapshot("computing (paying)");
+        runTask(s, batch.surrenderFrames(got));
+        snapshot("timeslice over: paged out");
+        s.runUntil(sim::sec(18));
+        snapshot("saving for the next slice");
+        t.print();
+        std::printf("\nThe saved balance buys a burst well above the "
+                    "steady-state share, then\nthe job returns memory "
+                    "before going broke — the §2.4 batch policy.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation A8 (paper §1, §2.1): multiple page sizes.
+ *
+ * The paper supports per-segment page sizes for machines like the
+ * Alpha. Larger pages cover more memory per TLB entry, cutting refill
+ * traffic for big working sets, and amortise per-page kernel costs —
+ * at the price of contiguous, aligned frame allocation (which the
+ * coalescing MigratePages enforces).
+ */
+
+#include <cstdio>
+
+#include "core/kernel.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+
+namespace {
+
+struct PageSizeResult
+{
+    std::uint64_t tlbMisses;
+    double refillUs;
+    double installUs;
+};
+
+PageSizeResult
+scan(std::uint32_t page_size, std::uint64_t bytes, int passes)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    m.modelTlb = true;
+    m.tlbEntries = 64;
+    kernel::Kernel kern(s, m);
+
+    const std::uint64_t pages = bytes / page_size;
+    const std::uint64_t frames_per_page = page_size / m.pageSize;
+    kernel::SegmentId seg =
+        kern.createSegmentNow("data", page_size, pages, 1);
+
+    // Install the working set, measuring the charged install cost.
+    sim::SimTime t0 = s.now();
+    for (kernel::PageIndex p = 0; p < pages; ++p) {
+        runTask(s, kern.migratePages(
+                       kernel::kPhysSegment, seg,
+                       p * frames_per_page, p, frames_per_page,
+                       kernel::flag::kProtMask, 0));
+    }
+    double install_us = sim::toUsec(s.now() - t0);
+
+    kernel::Process proc("scan", 1);
+    t0 = s.now();
+    for (int pass = 0; pass < passes; ++pass) {
+        for (kernel::PageIndex p = 0; p < pages; ++p) {
+            runTask(s, kern.touchSegment(proc, seg, p,
+                                         kernel::AccessType::Read));
+        }
+    }
+    return {kern.stats().tlbMisses, sim::toUsec(s.now() - t0),
+            install_us};
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t working_set = 2 << 20; // 2 MB
+    const int passes = 10;
+    std::printf("Ablation A8: per-segment page size (64-entry TLB, "
+                "2 MB working set,\n%d scan passes)\n\n",
+                passes);
+
+    TextTable t({"Page size", "pages", "TLB misses", "refill cost (us)",
+                 "map-install cost (us)"});
+    for (std::uint32_t ps : {4096u, 8192u, 16384u, 65536u}) {
+        PageSizeResult r = scan(ps, working_set, passes);
+        t.addRow({std::to_string(ps / 1024) + " KB",
+                  std::to_string(working_set / ps),
+                  std::to_string(r.tlbMisses),
+                  TextTable::num(r.refillUs, 0),
+                  TextTable::num(r.installUs, 0)});
+    }
+    t.print();
+    std::printf("\nAt 16 KB the 2 MB set fits the TLB need (128 pages "
+                "-> 64 entries still\nthrash a little; 64 KB fits "
+                "outright) and refill traffic collapses.\n");
+    return 0;
+}

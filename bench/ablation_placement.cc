@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation A7 (paper §1, §2.2): physical placement control on a
+ * DASH-like distributed-memory machine.
+ *
+ * Four workers, one per node, each scanning its own quarter of a
+ * shared array. With placement control the manager backs each quarter
+ * with frames on its worker's node (all references local); with
+ * oblivious allocation frames land anywhere and ~3/4 of references
+ * cross the network at ~4x the latency.
+ */
+
+#include <cstdio>
+
+#include "appmgr/placement_mgr.h"
+#include "core/kernel.h"
+#include "hw/numa.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+
+namespace {
+
+struct PlacementResult
+{
+    double scanUs;      ///< total reference latency, one full pass
+    double localFrac;   ///< fraction of pages on their home node
+};
+
+PlacementResult
+run(bool placed, int nodes, std::uint64_t pages_per_node)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    kernel::Kernel kern(s, m);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    hw::NumaTopology topo =
+        hw::NumaTopology::dashLike(nodes, m.memoryBytes);
+
+    appmgr::PlacementManager mgr(kern, &spcm, 1, topo);
+    mgr.initNow(8192, 64);
+
+    const std::uint64_t total = nodes * pages_per_node;
+    kernel::SegmentId array =
+        kern.createSegmentNow("array", 4096, total, 1, &mgr);
+    if (placed) {
+        for (int nd = 0; nd < nodes; ++nd)
+            mgr.assign(array, nd * pages_per_node, pages_per_node, nd);
+    }
+
+    kernel::Process proc("workers", 1);
+    for (kernel::PageIndex p = 0; p < total; ++p) {
+        runTask(s, kern.touchSegment(proc, array, p,
+                                     kernel::AccessType::Write));
+    }
+
+    // Each worker scans its own chunk; charge per-reference latency
+    // from its node to each page's actual frame (64 references per
+    // page).
+    auto attrs = kern.getPageAttributesNow(array, 0, total);
+    sim::Duration cost = 0;
+    std::uint64_t local_pages = 0;
+    for (const auto &a : attrs) {
+        int worker_node =
+            static_cast<int>(a.page / pages_per_node);
+        cost += 64 * topo.accessCost(worker_node, a.physAddr);
+        if (topo.nodeOf(a.physAddr) == worker_node)
+            ++local_pages;
+    }
+    return {sim::toUsec(cost),
+            static_cast<double>(local_pages) / total};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation A7: physical placement control (DASH-like, "
+                "4 nodes,\nremote reference 4x local, 4 workers "
+                "scanning their own quarters)\n\n");
+    TextTable t({"Working set", "oblivious (us)", "local %",
+                 "placed (us)", "local %", "speedup"});
+    for (std::uint64_t ppn : {64, 256, 1024}) {
+        PlacementResult rnd = run(false, 4, ppn);
+        PlacementResult pl = run(true, 4, ppn);
+        t.addRow({std::to_string(4 * ppn) + " pages",
+                  TextTable::num(rnd.scanUs, 0),
+                  TextTable::num(rnd.localFrac * 100, 0) + "%",
+                  TextTable::num(pl.scanUs, 0),
+                  TextTable::num(pl.localFrac * 100, 0) + "%",
+                  TextTable::num(rnd.scanUs / pl.scanUs, 2) + "x"});
+    }
+    t.print();
+    std::printf("\nWith frames requested by physical range from the "
+                "SPCM, every worker's\nreferences stay node-local, as "
+                "the paper's DASH discussion prescribes.\n");
+    return 0;
+}

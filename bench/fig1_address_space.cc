@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Reproduces paper Figure 1: "Kernel Implementation of a Virtual
+ * Address Space" — functionally. Builds a virtual-address-space
+ * segment composed of bound regions over code, data and stack
+ * segments (the data segment copy-on-write against the program
+ * image), then walks the structure and prints it together with the
+ * cost of each composition operation.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "apps/stack.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+using sim::TextTable;
+namespace flag = kernel::flag;
+
+int
+main()
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    apps::VppStack stack(m);
+    kernel::Kernel &k = stack.kern;
+    const std::uint32_t page = m.pageSize;
+
+    // The program image: a cached file holding code + initialised data.
+    uio::FileId image = stack.server.createFile("a.out", 96 * page);
+    stack.ucds.preloadFileNow(image);
+    kernel::SegmentId image_seg = stack.registry.segmentOf(image);
+
+    struct Op
+    {
+        std::string what;
+        sim::Duration cost;
+    };
+    std::vector<Op> ops;
+    auto timed = [&](const std::string &what, auto task) {
+        sim::SimTime t0 = stack.sim.now();
+        auto r = runTask(stack.sim, std::move(task));
+        ops.push_back({what, stack.sim.now() - t0});
+        return r;
+    };
+
+    // Code and data segments bound to the image (data copy-on-write);
+    // an anonymous stack segment; all composed into the VA segment.
+    kernel::SegmentId code = timed(
+        "CreateSegment(code)",
+        k.createSegment("code", page, 64, 1, &stack.ucds));
+    kernel::SegmentId data = timed(
+        "CreateSegment(data)",
+        k.createSegment("data", page, 32, 1, &stack.ucds));
+    stack.ucds.adopt(code);
+    stack.ucds.adopt(data);
+    kernel::SegmentId stk =
+        timed("CreateSegment(stack)",
+              k.createSegment("stack", page, 32, 1, &stack.ucds));
+    stack.ucds.adopt(stk);
+    kernel::SegmentId va = timed(
+        "CreateSegment(VA space)",
+        k.createSegment("va", page, 1024, 1, &stack.ucds));
+
+    runTask(stack.sim, k.bindRegion(code, 0, 64, image_seg, 0,
+                                    flag::kReadable));
+    runTask(stack.sim, k.bindRegion(data, 0, 32, image_seg, 64,
+                                    flag::kProtMask, true));
+    sim::SimTime t0 = stack.sim.now();
+    runTask(stack.sim, k.bindRegion(va, 0, 64, code, 0,
+                                    flag::kReadable));
+    ops.push_back({"BindRegion(va.code -> code)",
+                   stack.sim.now() - t0});
+    runTask(stack.sim,
+            k.bindRegion(va, 64, 32, data, 0, flag::kProtMask));
+    runTask(stack.sim,
+            k.bindRegion(va, 992, 32, stk, 0, flag::kProtMask));
+
+    kernel::Process proc("a.out", 1);
+    proc.setAddressSpace(va);
+
+    std::printf("Figure 1: a V++ virtual address space is a segment "
+                "composed of bound regions\n\n");
+    TextTable layout({"VA pages", "region", "target segment", "via",
+                      "notes"});
+    layout.addRow({"0-63", "code", "code -> a.out image", "binding",
+                   "read-only"});
+    layout.addRow({"64-95", "data", "data -> a.out image", "binding",
+                   "copy-on-write"});
+    layout.addRow({"992-1023", "stack", "stack (anonymous)", "binding",
+                   "zero-fill"});
+    layout.print();
+
+    // Exercise the structure: execute (read code), mutate data
+    // (copy-on-write), grow the stack.
+    runTask(stack.sim, k.touch(proc, 0, kernel::AccessType::Read));
+    runTask(stack.sim,
+            k.touch(proc, 64ull * page, kernel::AccessType::Write));
+    runTask(stack.sim,
+            k.touch(proc, 1000ull * page, kernel::AccessType::Write));
+
+    auto r_code = k.resolve(va, 0);
+    auto r_data = k.resolve(va, 64);
+    auto r_stk = k.resolve(va, 1000);
+
+    std::printf("\nAfter touching code, data (write) and stack:\n");
+    TextTable res({"VA page", "resolves to", "frame", "flags"});
+    auto row = [&](const char *name, std::uint64_t va_page,
+                   const kernel::Kernel::Resolution &r) {
+        std::string flags;
+        if (r.entry) {
+            if (r.entry->flags & flag::kDirty)
+                flags += "dirty ";
+            if (r.entry->flags & flag::kReferenced)
+                flags += "ref ";
+        }
+        res.addRow({name,
+                    k.segment(r.seg).name() + " page " +
+                        std::to_string(r.page),
+                    r.entry ? std::to_string(r.entry->frame) : "-",
+                    flags});
+        (void)va_page;
+    };
+    row("code[0]", 0, r_code);
+    row("data[0]", 64, r_data);
+    row("stack[8]", 1000, r_stk);
+    res.print();
+
+    std::printf("\nThe data write landed in the *data segment* (a "
+                "private copy-on-write page);\nthe image segment is "
+                "untouched. Composition operation costs:\n\n");
+    TextTable costs({"Operation", "us"});
+    for (const auto &op : ops)
+        costs.addRow({op.what, TextTable::num(sim::toUsec(op.cost), 1)});
+    costs.print();
+    return 0;
+}

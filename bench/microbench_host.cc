@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Host-time microbenchmarks (google-benchmark) of the implementation
+ * itself: these measure how fast *this library* executes kernel
+ * operations, fault delivery and the simulation engine on the host —
+ * useful for keeping the simulator fast, and distinct from the
+ * simulated-time tables the paper benches report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/kernel.h"
+#include "db/lock.h"
+#include "hw/cache_model.h"
+#include "managers/generic.h"
+#include "sim/random.h"
+
+using namespace vpp;
+
+namespace {
+
+hw::MachineConfig
+benchMachine()
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 32 << 20;
+    return m;
+}
+
+void
+BM_EventScheduling(benchmark::State &state)
+{
+    sim::Simulation s;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        s.schedule(s.now() + 1, [&n] { ++n; });
+        s.run();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventScheduling);
+
+void
+BM_MigratePagesNow(benchmark::State &state)
+{
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    kernel::SegmentId a =
+        kern.createSegmentNow("a", 4096, 4096, 0);
+    kernel::SegmentId b =
+        kern.createSegmentNow("b", 4096, 4096, 0);
+    kern.migratePagesNow(kernel::kPhysSegment, a, 0, 0, 1024, 0, 0);
+    bool fwd = true;
+    for (auto _ : state) {
+        if (fwd)
+            kern.migratePagesNow(a, b, 0, 0, state.range(0), 0, 0);
+        else
+            kern.migratePagesNow(b, a, 0, 0, state.range(0), 0, 0);
+        fwd = !fwd;
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MigratePagesNow)->Arg(1)->Arg(16)->Arg(256);
+
+void
+BM_ResolveThroughBindings(benchmark::State &state)
+{
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    kernel::SegmentId file =
+        kern.createSegmentNow("file", 4096, 256, 0);
+    kern.migratePagesNow(kernel::kPhysSegment, file, 0, 0, 256, 0, 0);
+    kernel::SegmentId data =
+        kern.createSegmentNow("data", 4096, 256, 0);
+    kern.bindRegionNow(data, 0, 256, file, 0, kernel::flag::kProtMask,
+                       true);
+    kernel::SegmentId va = kern.createSegmentNow("va", 4096, 256, 0);
+    kern.bindRegionNow(va, 0, 256, data, 0, kernel::flag::kProtMask);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        auto r = kern.resolve(va, p % 256);
+        benchmark::DoNotOptimize(r.entry);
+        ++p;
+    }
+}
+BENCHMARK(BM_ResolveThroughBindings);
+
+void
+BM_FullFaultPath(benchmark::State &state)
+{
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(8192, 4096);
+    kernel::SegmentId seg =
+        kern.createSegmentNow("heap", 4096, 1 << 20, 1, &manager);
+    kernel::Process proc("p", 1);
+    kernel::PageIndex page = 0;
+    for (auto _ : state) {
+        if (manager.freePages() == 0) {
+            state.PauseTiming();
+            // Recycle: reclaim everything allocated so far.
+            std::vector<kernel::PageIndex> pages;
+            for (auto &[pg, e] : kern.segment(seg).pages())
+                pages.push_back(pg);
+            for (auto pg : pages)
+                kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
+            state.ResumeTiming();
+        }
+        kernel::runTask(s, kern.touchSegment(
+                               proc, seg, page++,
+                               kernel::AccessType::Write));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullFaultPath);
+
+void
+BM_CacheModelAccess(benchmark::State &state)
+{
+    hw::CacheModel cache(64 << 10, 16, state.range(0), 4096);
+    sim::Random rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 22)));
+    }
+}
+BENCHMARK(BM_CacheModelAccess)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_LockAcquireRelease(benchmark::State &state)
+{
+    sim::Simulation s;
+    db::MultiModeLock lock(s);
+    for (auto _ : state) {
+        bool ok = lock.tryAcquire(db::LockMode::IX);
+        benchmark::DoNotOptimize(ok);
+        lock.release(db::LockMode::IX);
+    }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void
+BM_Xoshiro(benchmark::State &state)
+{
+    sim::Random rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+} // namespace
+
+BENCHMARK_MAIN();

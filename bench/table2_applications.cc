@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Table 2: "Application Elapsed Time in Seconds" for
+ * diff, uncompress and latex under V++ (default segment manager) and
+ * the conventional baseline, with all input files cached — the
+ * worst case for V++ because no I/O latency hides the process-level
+ * manager cost.
+ *
+ * Paper values (V++ / Ultrix): diff 3.99 / 4.05, uncompress
+ * 6.39 / 6.01, latex 14.71 / 13.65. The paper attributes the
+ * residual cross-system differences to run-time library effects; the
+ * VM-attributable difference is Table 3's overhead column, which this
+ * model reproduces directly.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/workload.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using sim::TextTable;
+
+int
+main()
+{
+    struct Row
+    {
+        apps::AppSpec spec;
+        double paperVpp;
+        double paperUltrix;
+    };
+    std::vector<Row> rows = {
+        {apps::diffApp(), 3.99, 4.05},
+        {apps::uncompressApp(), 6.39, 6.01},
+        {apps::latexApp(), 14.71, 13.65},
+    };
+
+    std::printf("Table 2: Application Elapsed Time in Seconds\n");
+    std::printf("(files pre-cached; DECstation 5000/200 model)\n\n");
+
+    TextTable t({"Program", "V++ (paper)", "V++ (measured)",
+                 "Ultrix (paper)", "Ultrix (measured)",
+                 "measured delta"});
+
+    for (const Row &row : rows) {
+        hw::MachineConfig m = hw::decstation5000_200();
+
+        apps::VppStack stack(m);
+        apps::AppRunResult vpp = apps::runOnVpp(stack, row.spec);
+
+        sim::Simulation s2;
+        hw::Disk disk(s2, m.diskLatency, m.diskBandwidthMBps);
+        uio::FileServer server(s2, disk, sim::usec(200));
+        baseline::ConventionalVm vm(s2, m, server);
+        apps::AppRunResult ult =
+            apps::runOnBaseline(s2, m, vm, server, row.spec);
+
+        t.addRow({row.spec.name, TextTable::num(row.paperVpp, 2),
+                  TextTable::num(vpp.elapsedSec, 2),
+                  TextTable::num(row.paperUltrix, 2),
+                  TextTable::num(ult.elapsedSec, 2),
+                  TextTable::num((vpp.elapsedSec - ult.elapsedSec) * 1e3,
+                                 0) +
+                      " ms"});
+    }
+    t.print();
+    std::printf("\nThe V++ - Ultrix delta is the VM-attributable cost "
+                "(compare Table 3's\noverhead column); the paper's "
+                "remaining differences come from unrelated\nrun-time "
+                "library effects.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Table 4: "Effect of Memory Usage on Transaction
+ * Response (ms)" — the database transaction-processing study on the
+ * 6-processor SGI 4D/380 model.
+ *
+ * Paper values (average / worst-case): no index 866 / 3770; index in
+ * memory 43 / 410; index with paging 575 / 3930; index regeneration
+ * 55 / 680.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "db/study.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using sim::TextTable;
+
+int
+main()
+{
+    struct Row
+    {
+        db::DbConfig config;
+        int paperAvg;
+        int paperWorst;
+    };
+    std::vector<Row> rows = {
+        {db::DbConfig::NoIndex, 866, 3770},
+        {db::DbConfig::IndexInMemory, 43, 410},
+        {db::DbConfig::IndexWithPaging, 575, 3930},
+        {db::DbConfig::IndexRegeneration, 55, 680},
+    };
+
+    db::DbParams params;
+
+    std::printf("Table 4: Effect of Memory Usage on Transaction "
+                "Response (ms)\n");
+    std::printf("6 CPUs, 120 MB database, 40 TPS, 95%% DebitCredit / "
+                "5%% join, %g s run\n\n",
+                params.durationSec);
+
+    TextTable t({"Configuration", "Avg (paper)", "Avg (measured)",
+                 "Worst (paper)", "Worst (measured)", "CPU util",
+                 "txns"});
+
+    for (const Row &row : rows) {
+        db::DbResult r = db::runDbStudy(row.config, params);
+        t.addRow({r.config, std::to_string(row.paperAvg),
+                  TextTable::num(r.avgMs, 0),
+                  std::to_string(row.paperWorst),
+                  TextTable::num(r.worstMs, 0),
+                  TextTable::num(r.cpuUtilization * 100, 0) + "%",
+                  std::to_string(r.txns)});
+    }
+    t.print();
+
+    std::printf(
+        "\nShape checks (paper): regeneration is an order of magnitude "
+        "better than\npaging on average and only ~27%% worse than "
+        "index-in-memory; paging loses\nmost of the index's benefit "
+        "even though the program exceeds its allocation\nby less than "
+        "1%%.\n");
+    return 0;
+}

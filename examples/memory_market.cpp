@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The memory market (paper §2.4) end to end: two applications with
+ * different dram incomes compete for frames; the SPCM patrol forces
+ * an over-extended client to shed memory, and the client adapts.
+ *
+ *   ./build/examples/memory_market
+ */
+
+#include <cstdio>
+
+#include "core/kernel.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+
+using namespace vpp;
+using kernel::runTask;
+
+int
+main()
+{
+    sim::Simulation sim;
+    hw::MachineConfig machine = hw::decstation5000_200();
+    machine.memoryBytes = 32 << 20; // 8192 frames
+    kernel::Kernel kern(sim, machine);
+
+    mgr::MarketParams market;
+    market.chargePerMBSec = 1.0;   // D: drams per MB-second
+    market.savingsTaxPerSec = 0.02;
+    market.ioChargePerMB = 0.5;
+    market.freeWhenUncontended = false;
+    mgr::SystemPageCacheManager spcm(kern, market);
+
+    mgr::GenericSegmentManager heavy(
+        kern, "simulation", hw::ManagerMode::SameProcess, &spcm, 1);
+    mgr::GenericSegmentManager light(
+        kern, "utility", hw::ManagerMode::SameProcess, &spcm, 2);
+    spcm.account(heavy.spcmClient()).incomeRate = 12.0; // 12 MB share
+    spcm.account(light.spcmClient()).incomeRate = 3.0;  //  3 MB share
+    runTask(sim, heavy.init(8192, 0));
+    runTask(sim, light.init(8192, 0));
+
+    auto show = [&](const char *when) {
+        std::printf("%-28s", when);
+        for (auto *m : {&heavy, &light}) {
+            const auto &acct = spcm.account(m->spcmClient());
+            std::printf("  %s: %5.1f MB held, %7.1f drams",
+                        acct.name.c_str(),
+                        acct.bytesHeld / 1048576.0, acct.balance);
+        }
+        std::printf("\n");
+    };
+
+    std::printf("charge rate %.1f dram/MB-s; incomes 12 and 3 "
+                "drams/s\n\n",
+                market.chargePerMBSec);
+    show("t=0:");
+
+    // Let income accrue, then both request far more than their share.
+    sim.runUntil(sim::sec(3));
+    std::uint64_t h = runTask(sim, heavy.requestFrames(6144)); // 24 MB
+    std::uint64_t l = runTask(sim, light.requestFrames(6144));
+    std::printf("\nboth request 24 MB: simulation granted %.1f MB, "
+                "utility granted %.1f MB\n(grants are limited to what "
+                "each income affords)\n\n",
+                h * 4096.0 / 1048576, l * 4096.0 / 1048576);
+    show("after grants:");
+
+    // Run with the market patrol enforcing solvency while each client
+    // adaptively re-requests whatever its income can afford — the
+    // closed loop the paper envisions between the SPCM and managers.
+    spcm.startPatrol(sim::sec(1));
+    bool adapting = true;
+    for (auto *m : {&heavy, &light}) {
+        sim.spawn([](sim::Simulation &sm,
+                     mgr::SystemPageCacheManager &pool,
+                     mgr::GenericSegmentManager &client,
+                     bool *run) -> sim::Task<> {
+            while (*run) {
+                co_await sm.delay(sim::sec(2));
+                if (!*run)
+                    break;
+                auto info = co_await pool.query(client.spcmClient());
+                std::uint64_t held =
+                    pool.account(client.spcmClient()).bytesHeld;
+                if (info.affordableBytes > held + (1 << 20)) {
+                    co_await client.requestFrames(
+                        (info.affordableBytes - held) / 4096);
+                }
+            }
+        }(sim, spcm, *m, &adapting));
+    }
+    sim.runUntil(sim::sec(10));
+    show("t=10 (patrolled):");
+    sim.runUntil(sim::sec(25));
+    show("t=25 (steady state):");
+    spcm.stopPatrol();
+    adapting = false;
+    sim.runUntil(sim::sec(28));
+
+    const auto &ha = spcm.account(heavy.spcmClient());
+    const auto &la = spcm.account(light.spcmClient());
+    std::printf("\nsteady-state ratio: %.2f (income ratio 4.0) — "
+                "allocation follows income,\nas §2.4 claims: \"its "
+                "programs also receive an equal share of the machine "
+                "...\naccording to the income supplied\".\n",
+                static_cast<double>(ha.bytesHeld) /
+                    (la.bytesHeld ? la.bytesHeld : 1));
+    std::printf("lifetime accounting: simulation paid %.1f drams for "
+                "memory, %.1f in tax;\nutility paid %.1f and %.1f.\n",
+                ha.totalMemoryCharge, ha.totalTax,
+                la.totalMemoryCharge, la.totalTax);
+    return 0;
+}

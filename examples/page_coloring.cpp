@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Application-specific page coloring (paper §1): ask the SPCM for
+ * frames by cache color so consecutive virtual pages never collide in
+ * a physically-indexed cache, and check the result with
+ * GetPageAttributes.
+ *
+ *   ./build/examples/page_coloring
+ */
+
+#include <cstdio>
+
+#include "appmgr/coloring_mgr.h"
+#include "core/kernel.h"
+#include "hw/cache_model.h"
+
+using namespace vpp;
+using kernel::runTask;
+
+int
+main()
+{
+    sim::Simulation sim;
+    hw::MachineConfig machine = hw::decstation5000_200();
+    machine.memoryBytes = 32 << 20;
+    kernel::Kernel kern(sim, machine);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+
+    // A 64 KB direct-mapped physically-indexed cache: 16 page colors.
+    hw::CacheModel cache(64 << 10, 16, 1, 4096);
+    const std::uint32_t colors = cache.numColors();
+    std::printf("cache: 64 KB direct-mapped, %u page colors\n\n",
+                colors);
+
+    appmgr::ColoringManager mgr(kern, &spcm, 1, colors);
+    mgr.initNow(1024, 32);
+    kernel::SegmentId array =
+        kern.createSegmentNow("array", 4096, 16, 1, &mgr);
+    kernel::Process proc("stencil", 1);
+
+    // Fault in a 16-page working set (exactly one page per color).
+    for (kernel::PageIndex p = 0; p < 16; ++p) {
+        runTask(sim, kern.touchSegment(proc, array, p,
+                                       kernel::AccessType::Write));
+    }
+
+    std::printf("page -> frame placement (GetPageAttributes):\n");
+    auto attrs = kern.getPageAttributesNow(array, 0, 16);
+    for (const auto &a : attrs) {
+        std::printf("  page %2llu  frame %4u  phys 0x%07llx  color %2u"
+                    "  %s\n",
+                    static_cast<unsigned long long>(a.page), a.frame,
+                    static_cast<unsigned long long>(a.physAddr),
+                    cache.colorOf(a.physAddr),
+                    cache.colorOf(a.physAddr) == a.page % colors
+                        ? "(matches page color)"
+                        : "(MISMATCH)");
+    }
+
+    // Sweep the working set and count cache misses.
+    const int passes = 20;
+    for (int pass = 0; pass < passes; ++pass)
+        for (const auto &a : attrs)
+            for (int line = 0; line < 4096; line += 64)
+                cache.access(a.physAddr + line);
+
+    std::printf("\n%d passes over the 16-page working set: %.2f%% "
+                "miss ratio\n(cold misses only — no conflicts: every "
+                "page has its own cache region).\n",
+                passes, cache.missRatio() * 100.0);
+    std::printf("color requests satisfied: %llu, fallbacks: %llu\n",
+                static_cast<unsigned long long>(mgr.colorHits()),
+                static_cast<unsigned long long>(mgr.colorMisses()));
+    return 0;
+}

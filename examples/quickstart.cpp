@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Quickstart: the external page-cache management API in one file.
+ *
+ * Builds a simulated DECstation running the V++ kernel, writes a
+ * custom segment manager in ~30 lines, takes a fault through it
+ * (Figure 2), inspects physical placement with GetPageAttributes,
+ * and demonstrates copy-on-write.
+ *
+ *   cmake --build build && ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <span>
+
+#include "core/kernel.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+
+using namespace vpp;
+using kernel::runTask;
+
+/**
+ * A custom manager: everything interesting is a hook override. This
+ * one logs faults and stamps each new page with a pattern (a real
+ * application would fetch data or regenerate it).
+ */
+class MyManager : public mgr::GenericSegmentManager
+{
+  public:
+    MyManager(kernel::Kernel &k, mgr::SystemPageCacheManager *spcm)
+        : GenericSegmentManager(k, "my-mgr",
+                                hw::ManagerMode::SameProcess, spcm, 1)
+    {}
+
+  protected:
+    sim::Task<>
+    fillPage(kernel::Kernel &k, const kernel::Fault &f,
+             kernel::PageIndex dst_page,
+             kernel::PageIndex free_slot) override
+    {
+        std::printf("  [my-mgr] %s fault on segment %u page %llu -> "
+                    "filling\n",
+                    kernel::faultTypeName(f.type), f.segment,
+                    static_cast<unsigned long long>(dst_page));
+        char stamp[32];
+        std::snprintf(stamp, sizeof(stamp), "page %llu content",
+                      static_cast<unsigned long long>(dst_page));
+        k.writePageData(freeSegment(), free_slot, 0,
+                        std::as_bytes(std::span(stamp, sizeof(stamp))));
+        co_return;
+    }
+};
+
+int
+main()
+{
+    // 1. A simulated machine and the V++ kernel on top of it.
+    sim::Simulation sim;
+    hw::MachineConfig machine = hw::decstation5000_200();
+    kernel::Kernel kern(sim, machine);
+    std::printf("machine: %llu MB, %u-byte pages, %llu frames\n",
+                static_cast<unsigned long long>(machine.memoryBytes >>
+                                                20),
+                machine.pageSize,
+                static_cast<unsigned long long>(machine.frames()));
+
+    // 2. The SPCM owns the global pool (the well-known physical
+    //    segment); our manager gets a free-page segment stocked from
+    //    it.
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    MyManager manager(kern, &spcm);
+    runTask(sim, manager.init(/*capacity=*/1024,
+                              /*initial_frames=*/64));
+
+    // 3. Create an application segment managed by our manager and
+    //    reference it: the kernel delivers the fault to MyManager.
+    kernel::SegmentId seg = runTask(
+        sim, kern.createSegment("app-data", machine.pageSize, 64, 1,
+                                &manager));
+    kernel::Process proc("quickstart", 1);
+
+    std::printf("\ntouching page 5 (takes a fault):\n");
+    sim::SimTime t0 = sim.now();
+    runTask(sim, kern.touchSegment(proc, seg, 5,
+                                   kernel::AccessType::Write));
+    std::printf("  fault resolved in %.0f us (paper Table 1: 107 us "
+                "for the minimal fault)\n",
+                sim::toUsec(sim.now() - t0));
+
+    char buf[32] = {};
+    kern.readPageData(seg, 5, 0,
+                      std::as_writable_bytes(
+                          std::span(buf, sizeof(buf))));
+    std::printf("  page 5 now reads: \"%s\"\n", buf);
+
+    // 4. GetPageAttributes: the application can see its physical
+    //    placement (the basis for page coloring).
+    auto attrs = kern.getPageAttributesNow(seg, 5, 1);
+    std::printf("  physical address 0x%llx, dirty=%d referenced=%d\n",
+                static_cast<unsigned long long>(attrs[0].physAddr),
+                (attrs[0].flags & kernel::flag::kDirty) != 0,
+                (attrs[0].flags & kernel::flag::kReferenced) != 0);
+
+    // 5. Copy-on-write: bind a second segment to the first; writes
+    //    produce private copies via a CopyOnWrite fault.
+    kernel::SegmentId cow = runTask(
+        sim, kern.createSegment("cow-view", machine.pageSize, 64, 1,
+                                &manager));
+    runTask(sim, kern.bindRegion(cow, 0, 64, seg, 0,
+                                 kernel::flag::kProtMask, true));
+    std::printf("\nwriting through a copy-on-write binding:\n");
+    runTask(sim, kern.touchSegment(proc, cow, 5,
+                                   kernel::AccessType::Write));
+    kern.writePageData(cow, 5, 0,
+                       std::as_bytes(std::span("private!", 9)));
+    kern.readPageData(seg, 5, 0,
+                      std::as_writable_bytes(
+                          std::span(buf, sizeof(buf))));
+    std::printf("  original still reads: \"%s\"\n", buf);
+    kern.readPageData(cow, 5, 0,
+                      std::as_writable_bytes(
+                          std::span(buf, sizeof(buf))));
+    std::printf("  private copy reads:   \"%s\"\n", buf);
+
+    // 6. Who owns what, at the end.
+    std::printf("\nmanager handled %llu calls, %llu pages allocated, "
+                "free pool %llu frames\n",
+                static_cast<unsigned long long>(manager.calls()),
+                static_cast<unsigned long long>(
+                    manager.pagesAllocated()),
+                static_cast<unsigned long long>(manager.freePages()));
+    std::string why;
+    std::printf("frame-conservation invariant: %s\n",
+                kern.checkFrameInvariant(&why) ? "OK" : why.c_str());
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's §1 motivating scenario: a large-scale simulation whose
+ * data does not fit in memory scans it each time step. With
+ * application-directed read-ahead the disk latency hides behind the
+ * compute; dirty pages of a regenerable intermediate are discarded
+ * instead of written back.
+ *
+ *   ./build/examples/scientific_prefetch
+ */
+
+#include <cstdio>
+
+#include "appmgr/prefetch_mgr.h"
+#include "core/kernel.h"
+#include "hw/disk.h"
+#include "uio/file_server.h"
+
+using namespace vpp;
+using kernel::runTask;
+
+int
+main()
+{
+    sim::Simulation sim;
+    hw::MachineConfig machine = hw::sgi4d380();
+    machine.memoryBytes = 64 << 20;
+    kernel::Kernel kern(sim, machine);
+    hw::Disk disk(sim, machine.diskLatency, machine.diskBandwidthMBps);
+    uio::FileServer server(sim, disk, sim::usec(200));
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+
+    // The particle state: a 4 MB file scanned every time step.
+    const std::uint64_t pages = 1024;
+    uio::FileId particles =
+        server.createFile("particles.dat", pages * 4096);
+
+    appmgr::PrefetchingManager mgr(kern, &spcm, 1, server,
+                                   /*window=*/8);
+    mgr.initNow(8192, 2048);
+    kernel::SegmentId state = kern.createSegmentNow(
+        "particles", 4096, pages, 1, &mgr);
+    mgr.attach(state, particles);
+
+    // A scratch matrix of intermediate results, regenerated each
+    // step: never worth writing back.
+    kernel::SegmentId scratch = kern.createSegmentNow(
+        "scratch", 4096, 256, 1, &mgr);
+
+    kernel::Process proc("mp3d", 1);
+    const sim::Duration compute_per_page =
+        machine.instructions(0.6e6); // 20 ms at 30 MIPS
+
+    auto timestep = [&]() -> sim::Task<> {
+        for (kernel::PageIndex p = 0; p < pages; ++p) {
+            co_await kern.touchSegment(proc, state, p,
+                                       kernel::AccessType::Read);
+            // Intermediate results go to the scratch matrix.
+            co_await kern.touchSegment(proc, scratch, p % 256,
+                                       kernel::AccessType::Write);
+            co_await sim.delay(compute_per_page);
+        }
+    };
+
+    std::printf("time step with read-ahead (window 8):\n");
+    sim::SimTime t0 = sim.now();
+    runTask(sim, timestep());
+    double with_prefetch = sim::toSec(sim.now() - t0);
+    std::printf("  %.1f s elapsed; %llu pages prefetched, %llu demand "
+                "fills\n",
+                with_prefetch,
+                static_cast<unsigned long long>(mgr.prefetchedPages()),
+                static_cast<unsigned long long>(mgr.demandFills()));
+
+    // Between steps, memory is wanted elsewhere: reclaim everything.
+    // The scratch matrix is dirty but regenerable -> discard it.
+    kern.modifyPageFlagsNow(scratch, 0, 256,
+                            kernel::flag::kDiscardable, 0);
+    std::uint64_t writes0 = disk.writes();
+    runTask(sim, mgr.reclaimRun(kern, state, 0, pages));
+    runTask(sim, mgr.reclaimRun(kern, scratch, 0, 256));
+    std::printf("  reclaimed %llu pages between steps; dirty scratch "
+                "discarded, %llu disk writes\n",
+                static_cast<unsigned long long>(pages + 256),
+                static_cast<unsigned long long>(disk.writes() -
+                                                writes0));
+
+    // The comparison run: no read-ahead, every page a demand fault.
+    mgr.setWindow(0);
+    std::printf("\ntime step without read-ahead:\n");
+    t0 = sim.now();
+    runTask(sim, timestep());
+    double without = sim::toSec(sim.now() - t0);
+    std::printf("  %.1f s elapsed\n", without);
+
+    std::printf("\nread-ahead hid %.1f s of disk latency behind "
+                "compute (%.0f%% faster),\nexactly the overlap the "
+                "paper's MP3D example calls for.\n",
+                without - with_prefetch,
+                (1.0 - with_prefetch / without) * 100.0);
+    return 0;
+}

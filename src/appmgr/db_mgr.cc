@@ -1,0 +1,172 @@
+#include "appmgr/db_mgr.h"
+
+#include <vector>
+
+namespace vpp::appmgr {
+
+using kernel::Fault;
+using kernel::Kernel;
+using kernel::PageIndex;
+using kernel::SegmentId;
+namespace flag = kernel::flag;
+
+DbSegmentManager::DbSegmentManager(Kernel &k,
+                                   mgr::SystemPageCacheManager *spcm,
+                                   kernel::UserId uid,
+                                   uio::FileServer &server,
+                                   double rebuild_minstr_per_page)
+    : GenericSegmentManager(k, "db-mgr", hw::ManagerMode::SameProcess,
+                            spcm, uid),
+      server_(&server), rebuildMInstrPerPage_(rebuild_minstr_per_page)
+{}
+
+sim::Task<SegmentId>
+DbSegmentManager::createRelation(std::string name, uio::FileId backing)
+{
+    const std::uint32_t page_size = kern().config().pageSize;
+    std::uint64_t pages =
+        (server_->fileSize(backing) + page_size - 1) / page_size;
+    SegmentId seg = co_await kern().createSegment(
+        std::move(name), page_size, pages, uid(), this);
+    relationFile_[seg] = backing;
+    co_return seg;
+}
+
+sim::Task<SegmentId>
+DbSegmentManager::createIndex(std::string name, std::uint64_t pages)
+{
+    SegmentId seg = co_await kern().createSegment(
+        std::move(name), kern().config().pageSize, pages, uid(), this);
+    indexInfo_[seg] = IndexInfo{pages};
+    co_return seg;
+}
+
+sim::Task<>
+DbSegmentManager::pinPages(SegmentId seg, PageIndex page,
+                           std::uint64_t pages)
+{
+    co_await kern().modifyPageFlags(seg, page, pages, flag::kPinned, 0);
+}
+
+sim::Task<double>
+DbSegmentManager::residency(SegmentId seg, std::uint64_t pages)
+{
+    auto attrs = co_await kern().getPageAttributes(seg, 0, pages);
+    std::uint64_t present = 0;
+    for (const auto &a : attrs)
+        present += a.present ? 1 : 0;
+    co_return pages ? static_cast<double>(present) / pages : 0.0;
+}
+
+sim::Task<std::uint64_t>
+DbSegmentManager::discardIndex(SegmentId seg)
+{
+    if (!indexInfo_.count(seg))
+        co_return 0;
+    // Discardable pages come back with no writeback; pinned pages
+    // (the root directory levels) are never discarded.
+    std::vector<std::pair<PageIndex, std::uint64_t>> runs;
+    for (const auto &[page, entry] : kern().segment(seg).pages()) {
+        if (entry.flags & flag::kPinned)
+            continue;
+        if (!runs.empty() &&
+            runs.back().first + runs.back().second == page) {
+            ++runs.back().second;
+        } else {
+            runs.emplace_back(page, 1);
+        }
+    }
+    std::uint64_t freed = 0;
+    for (const auto &[first, count] : runs)
+        freed += co_await reclaimRun(kern(), seg, first, count);
+    ++indexDiscards_;
+    co_return freed;
+}
+
+sim::Task<std::uint64_t>
+DbSegmentManager::adaptToPressure()
+{
+    if (!spcm())
+        co_return 0;
+    auto info = co_await spcm()->query(spcmClient());
+    const std::uint32_t page_size = kern().config().pageSize;
+    std::uint64_t held =
+        spcm()->account(spcmClient()).bytesHeld;
+    if (info.affordableBytes >= held)
+        co_return 0;
+
+    std::uint64_t shortfall_frames =
+        (held - info.affordableBytes + page_size - 1) / page_size;
+
+    // Shed index frames first — regenerating them later is cheaper
+    // than paging a relation.
+    std::uint64_t freed = 0;
+    for (const auto &[seg, ininfo] : indexInfo_) {
+        (void)ininfo;
+        if (freed >= shortfall_frames)
+            break;
+        if (kern().segmentExists(seg))
+            freed += co_await discardIndex(seg);
+    }
+    // Return what the pool can spare, but keep a working reserve so
+    // the buffer manager can still service faults.
+    const std::uint64_t reserve = 64;
+    std::uint64_t give =
+        freePages() > reserve
+            ? std::min(shortfall_frames, freePages() - reserve)
+            : 0;
+    co_await surrenderFrames(give);
+    co_return freed;
+}
+
+sim::Task<>
+DbSegmentManager::fillPage(Kernel &k, const Fault &f,
+                           PageIndex dst_page, PageIndex free_slot)
+{
+    auto rel = relationFile_.find(f.segment);
+    if (rel != relationFile_.end()) {
+        const std::uint32_t page_size =
+            k.segment(f.segment).pageSize();
+        std::vector<std::byte> buf(page_size);
+        co_await server_->readBlock(
+            rel->second,
+            static_cast<std::uint64_t>(dst_page) * page_size, buf);
+        k.writePageData(freeSegment(), free_slot, 0, buf);
+        co_await k.chargeCopy(page_size);
+        co_return;
+    }
+    if (indexInfo_.count(f.segment)) {
+        // Derived data: regenerate by computation, not I/O.
+        co_await k.simulation().delay(
+            k.config().instructions(rebuildMInstrPerPage_ * 1e6));
+        ++indexRebuilds_;
+    }
+}
+
+sim::Task<>
+DbSegmentManager::writeBack(Kernel &k, SegmentId seg, PageIndex page)
+{
+    auto rel = relationFile_.find(seg);
+    if (rel == relationFile_.end())
+        co_return; // indices are never written back
+    const std::uint32_t page_size = k.segment(seg).pageSize();
+    std::vector<std::byte> buf(page_size);
+    k.readPageData(seg, page, 0, buf);
+    co_await k.chargeCopy(page_size);
+    co_await server_->writeBlock(
+        rel->second, static_cast<std::uint64_t>(page) * page_size,
+        buf);
+}
+
+std::uint32_t
+DbSegmentManager::pageProt(const Fault &f)
+{
+    std::uint32_t prot = GenericSegmentManager::pageProt(f);
+    // Index pages are born discardable: their contents can always be
+    // recomputed.
+    if (indexInfo_.count(f.segment))
+        prot |= flag::kDiscardable;
+    return prot;
+}
+
+} // namespace vpp::appmgr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discardable-page management (paper §4, the Subramanian comparison).
+ *
+ * A run-time system that knows a page's contents are garbage (a
+ * collected semispace, a freed arena) marks it kDiscardable; the
+ * manager then reclaims it without writing it back, and — because the
+ * frame stays with the same user — the SPCM re-grants it without a
+ * zero-fill. Subramanian's Mach external pager could do neither
+ * without kernel changes; external page-cache management gets both
+ * for free, which is precisely the paper's argument.
+ *
+ * The same class doubles as the conventional comparator for the
+ * ablation benchmark: `conventional(true)` makes it ignore the
+ * discardable hint (write everything back) and zero-fill every
+ * allocation, like a kernel that cannot trust the application.
+ */
+
+#ifndef VPP_APPMGR_DISCARD_MGR_H
+#define VPP_APPMGR_DISCARD_MGR_H
+
+#include <cstdint>
+
+#include "managers/generic.h"
+#include "uio/file_server.h"
+
+namespace vpp::appmgr {
+
+class DiscardableManager : public mgr::GenericSegmentManager
+{
+  public:
+    DiscardableManager(kernel::Kernel &k,
+                       mgr::SystemPageCacheManager *spcm,
+                       kernel::UserId uid, uio::FileServer &swap,
+                       uio::FileId swap_file)
+        : GenericSegmentManager(k, "gc-heap-mgr",
+                                hw::ManagerMode::SameProcess, spcm,
+                                uid),
+          swap_(&swap), swapFile_(swap_file)
+    {}
+
+    /** Conventional mode: ignore hints, always write back and zero. */
+    void conventional(bool on) { conventional_ = on; }
+
+    bool honorsDiscardable() const override { return !conventional_; }
+
+    /** Mark a range of heap pages as garbage (no writeback needed). */
+    sim::Task<>
+    markGarbage(kernel::SegmentId seg, kernel::PageIndex page,
+                std::uint64_t pages)
+    {
+        co_await kern().modifyPageFlags(
+            seg, page, pages, kernel::flag::kDiscardable, 0);
+    }
+
+  protected:
+    sim::Task<>
+    writeBack(kernel::Kernel &k, kernel::SegmentId seg,
+              kernel::PageIndex page) override
+    {
+        const std::uint32_t page_size = k.segment(seg).pageSize();
+        std::vector<std::byte> buf(page_size);
+        k.readPageData(seg, page, 0, buf);
+        co_await k.chargeCopy(page_size);
+        co_await swap_->writeBlock(
+            swapFile_,
+            (static_cast<std::uint64_t>(seg) << 24 | page) * page_size,
+            buf);
+    }
+
+    std::uint32_t
+    pageProt(const kernel::Fault &f) override
+    {
+        std::uint32_t prot = GenericSegmentManager::pageProt(f);
+        // A conventional kernel zero-fills every allocation for
+        // security because it cannot know who used the frame last.
+        if (conventional_)
+            prot |= kernel::flag::kZeroFill;
+        return prot;
+    }
+
+  private:
+    uio::FileServer *swap_;
+    uio::FileId swapFile_;
+    bool conventional_ = false;
+};
+
+} // namespace vpp::appmgr
+
+#endif // VPP_APPMGR_DISCARD_MGR_H

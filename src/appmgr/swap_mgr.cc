@@ -1,0 +1,175 @@
+#include "appmgr/swap_mgr.h"
+
+#include <vector>
+
+namespace vpp::appmgr {
+
+using kernel::AccessType;
+using kernel::Fault;
+using kernel::Kernel;
+using kernel::PageIndex;
+using kernel::SegmentId;
+namespace flag = kernel::flag;
+
+SwappableAppManager::SwappableAppManager(
+    Kernel &k, mgr::SystemPageCacheManager *spcm, kernel::UserId uid,
+    uio::FileServer &server, uio::FileId swap_file,
+    mgr::DefaultSegmentManager *default_mgr)
+    : GenericSegmentManager(k, "app-swap-mgr",
+                            hw::ManagerMode::SameProcess, spcm, uid),
+      server_(&server), swapFile_(swap_file), defaultMgr_(default_mgr)
+{}
+
+sim::Task<SegmentId>
+SwappableAppManager::createAppSegment(std::string name,
+                                      std::uint64_t pages)
+{
+    SegmentId seg = co_await kern().createSegment(
+        std::move(name), kern().config().pageSize, pages, uid(), this);
+    appSegments_.push_back(seg);
+    co_return seg;
+}
+
+std::uint64_t
+SwappableAppManager::swapSlotFor(SegmentId seg, PageIndex page)
+{
+    auto key = std::make_pair(seg, page);
+    auto it = swapSlots_.find(key);
+    if (it != swapSlots_.end())
+        return it->second;
+    std::uint64_t slot = nextSwapSlot_++;
+    swapSlots_[key] = slot;
+    return slot;
+}
+
+sim::Task<int>
+SwappableAppManager::assumeSelfManagement(kernel::Process &p,
+                                          SegmentId self_seg,
+                                          std::uint64_t pages)
+{
+    // The paper's retry loop: force resident under the old manager,
+    // take over, verify nothing was reclaimed in the window; a fault
+    // after assuming ownership means "retry from the top".
+    int attempts = 0;
+    for (;;) {
+        ++attempts;
+        // 1. Touch every page to force it into memory (faults are
+        //    handled by whoever manages the segment right now).
+        for (PageIndex pg = 0; pg < pages; ++pg) {
+            co_await kern().touchSegment(p, self_seg, pg,
+                                         AccessType::Read);
+        }
+        // 2. Assume management.
+        co_await kern().setSegmentManager(self_seg, this);
+        // 3. Re-access, verifying residency survived the handover.
+        bool all_resident = true;
+        for (PageIndex pg = 0; pg < pages; ++pg) {
+            if (!kern().segment(self_seg).findPage(pg)) {
+                all_resident = false;
+                break;
+            }
+        }
+        if (all_resident)
+            break;
+        // Retry: hand back and start over.
+        co_await kern().setSegmentManager(self_seg, defaultMgr_);
+    }
+    // 4. Exclude the manager's own pages from replacement.
+    co_await kern().modifyPageFlags(self_seg, 0, pages, flag::kPinned,
+                                    0);
+    bool seen = false;
+    for (auto &[s, n] : self_) {
+        if (s == self_seg) {
+            seen = true;
+            n = pages;
+        }
+    }
+    if (!seen)
+        self_.emplace_back(self_seg, pages);
+    co_return attempts;
+}
+
+sim::Task<>
+SwappableAppManager::swapOut(kernel::Process &p)
+{
+    (void)p;
+    // Swap the application segments: dirty pages to the swap file,
+    // all frames back to the free pool, then to the SPCM.
+    for (SegmentId seg : appSegments_) {
+        std::vector<PageIndex> pages;
+        for (const auto &[pg, e] : kern().segment(seg).pages())
+            pages.push_back(pg);
+        for (PageIndex pg : pages) {
+            const kernel::PageEntry *e =
+                kern().segment(seg).findPage(pg);
+            if (e->flags & flag::kDirty) {
+                swapped_[{seg, pg}] = swapSlotFor(seg, pg);
+                ++pagesSwapped_;
+            }
+            co_await reclaimPage(kern(), seg, pg);
+        }
+    }
+    // Return the self segments to the default manager and unpin them;
+    // their pages will be swapped with everyone else's.
+    for (auto &[seg, pages] : self_) {
+        co_await kern().modifyPageFlags(seg, 0, pages, 0,
+                                        flag::kPinned);
+        co_await kern().setSegmentManager(seg, defaultMgr_);
+        defaultMgr_->adopt(seg);
+    }
+    co_await surrenderFrames(freePages());
+    swappedOut_ = true;
+}
+
+sim::Task<>
+SwappableAppManager::swapIn(kernel::Process &p, bool eager)
+{
+    // Re-acquire working frames, then repeat the initialization
+    // sequence for the self segments.
+    co_await requestFrames(requestBatch_);
+    for (auto &[seg, pages] : self_)
+        co_await assumeSelfManagement(p, seg, pages);
+    swappedOut_ = false;
+    if (eager) {
+        // Snapshot: restoring a page removes it from the swapped set.
+        std::vector<std::pair<SegmentId, PageIndex>> to_restore;
+        to_restore.reserve(swapped_.size());
+        for (const auto &[key, slot] : swapped_)
+            to_restore.push_back(key);
+        for (const auto &[seg, page] : to_restore) {
+            co_await kern().touchSegment(p, seg, page,
+                                         AccessType::Read);
+        }
+    }
+}
+
+sim::Task<>
+SwappableAppManager::fillPage(Kernel &k, const Fault &f,
+                              PageIndex dst_page, PageIndex free_slot)
+{
+    auto key = std::make_pair(f.segment, dst_page);
+    auto it = swapped_.find(key);
+    if (it == swapped_.end())
+        co_return; // never swapped: fresh page
+    const std::uint32_t page_size = k.segment(f.segment).pageSize();
+    std::vector<std::byte> buf(page_size);
+    co_await server_->readBlock(swapFile_, it->second * page_size,
+                                buf);
+    k.writePageData(freeSegment(), free_slot, 0, buf);
+    co_await k.chargeCopy(page_size);
+    swapped_.erase(it);
+    ++pagesRestored_;
+}
+
+sim::Task<>
+SwappableAppManager::writeBack(Kernel &k, SegmentId seg, PageIndex page)
+{
+    const std::uint32_t page_size = k.segment(seg).pageSize();
+    std::vector<std::byte> buf(page_size);
+    k.readPageData(seg, page, 0, buf);
+    co_await k.chargeCopy(page_size);
+    co_await server_->writeBlock(
+        swapFile_, swapSlotFor(seg, page) * page_size, buf);
+}
+
+} // namespace vpp::appmgr

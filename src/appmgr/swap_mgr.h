@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Application swapping under application control (paper §2.2).
+ *
+ * "The application segment manager swaps the application segments
+ * except for its code and data segments. It then returns ownership of
+ * these latter segments to the default segment manager, and indicates
+ * it is ready to be swapped. ... On resumption of the application,
+ * the manager gains control and repeats the initialization sequence."
+ *
+ * SwappableAppManager implements both halves:
+ *  - the residency-assumption protocol: touch the manager's own
+ *    segments to force them in, assume management, re-verify, retry
+ *    on any fault, then pin;
+ *  - swapOut()/swapIn(): write dirty pages to a swap file, surrender
+ *    the frames to the SPCM, hand the self segments back to the
+ *    default manager; on resumption re-run the residency protocol and
+ *    reload lazily (faults) or eagerly.
+ */
+
+#ifndef VPP_APPMGR_SWAP_MGR_H
+#define VPP_APPMGR_SWAP_MGR_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "managers/default_mgr.h"
+#include "managers/generic.h"
+#include "uio/file_server.h"
+
+namespace vpp::appmgr {
+
+class SwappableAppManager : public mgr::GenericSegmentManager
+{
+  public:
+    SwappableAppManager(kernel::Kernel &k,
+                        mgr::SystemPageCacheManager *spcm,
+                        kernel::UserId uid, uio::FileServer &server,
+                        uio::FileId swap_file,
+                        mgr::DefaultSegmentManager *default_mgr);
+
+    /** Create an application data segment under this manager. */
+    sim::Task<kernel::SegmentId> createAppSegment(std::string name,
+                                                  std::uint64_t pages);
+
+    /**
+     * The §2.2 initialization sequence: force the manager's own
+     * code/data segment (currently under the default manager) into
+     * memory, assume its management, verify it stayed resident — and
+     * retry from the top if any page faulted after the takeover —
+     * then pin it. Returns the number of attempts taken.
+     */
+    sim::Task<int> assumeSelfManagement(kernel::Process &p,
+                                        kernel::SegmentId self_seg,
+                                        std::uint64_t pages);
+
+    /**
+     * Swap the application out: write every dirty page of every app
+     * segment to the swap file, surrender all frames, and return the
+     * self segments to the default manager.
+     */
+    sim::Task<> swapOut(kernel::Process &p);
+
+    /**
+     * Resume: re-run the residency protocol for the self segments;
+     * app pages reload on demand from swap (or all at once if
+     * @p eager).
+     */
+    sim::Task<> swapIn(kernel::Process &p, bool eager = false);
+
+    bool swappedOut() const { return swappedOut_; }
+    std::uint64_t pagesSwapped() const { return pagesSwapped_; }
+    std::uint64_t pagesRestored() const { return pagesRestored_; }
+
+  protected:
+    sim::Task<> fillPage(kernel::Kernel &k, const kernel::Fault &f,
+                         kernel::PageIndex dst_page,
+                         kernel::PageIndex free_slot) override;
+
+    sim::Task<> writeBack(kernel::Kernel &k, kernel::SegmentId seg,
+                          kernel::PageIndex page) override;
+
+  private:
+    std::uint64_t swapSlotFor(kernel::SegmentId seg,
+                              kernel::PageIndex page);
+
+    uio::FileServer *server_;
+    uio::FileId swapFile_;
+    mgr::DefaultSegmentManager *defaultMgr_;
+    std::vector<kernel::SegmentId> appSegments_;
+    std::vector<std::pair<kernel::SegmentId, std::uint64_t>> self_;
+    /// pages whose current contents live in the swap file
+    std::map<std::pair<kernel::SegmentId, kernel::PageIndex>,
+             std::uint64_t>
+        swapped_;
+    std::map<std::pair<kernel::SegmentId, kernel::PageIndex>,
+             std::uint64_t>
+        swapSlots_;
+    std::uint64_t nextSwapSlot_ = 0;
+    bool swappedOut_ = false;
+    std::uint64_t pagesSwapped_ = 0;
+    std::uint64_t pagesRestored_ = 0;
+};
+
+} // namespace vpp::appmgr
+
+#endif // VPP_APPMGR_SWAP_MGR_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Convenience bundle of a complete V++ machine: simulator, kernel,
+ * disk, file server, SPCM and default segment manager. Benchmarks,
+ * examples and integration tests build on this instead of wiring the
+ * ten objects by hand.
+ */
+
+#ifndef VPP_APPS_STACK_H
+#define VPP_APPS_STACK_H
+
+#include <optional>
+
+#include "core/kernel.h"
+#include "hw/config.h"
+#include "hw/disk.h"
+#include "managers/default_mgr.h"
+#include "managers/market.h"
+#include "managers/spcm.h"
+#include "sim/simulation.h"
+#include "uio/block_io.h"
+#include "uio/file_server.h"
+
+namespace vpp::apps {
+
+struct StackOptions
+{
+    std::optional<mgr::MarketParams> market;
+    std::uint64_t ucdsPoolCapacity = 16384; ///< free-segment slots
+    std::uint64_t ucdsInitialFrames = 2048;
+    sim::Duration serverOverhead = sim::usec(200);
+    mgr::DefaultManagerParams ucdsParams;
+};
+
+class VppStack
+{
+  public:
+    explicit VppStack(const hw::MachineConfig &machine,
+                      StackOptions opts = {})
+        : machine_(machine), kern(sim, machine),
+          disk(sim, machine.diskLatency, machine.diskBandwidthMBps),
+          server(sim, disk, opts.serverOverhead),
+          spcm(kern, opts.market),
+          ucds(kern, &spcm, server, registry, opts.ucdsParams),
+          io(kern, registry)
+    {
+        ucds.initNow(opts.ucdsPoolCapacity, opts.ucdsInitialFrames);
+    }
+
+    const hw::MachineConfig &machine() const { return machine_; }
+
+    sim::Simulation sim;
+
+  private:
+    hw::MachineConfig machine_;
+
+  public:
+    kernel::Kernel kern;
+    hw::Disk disk;
+    uio::FileServer server;
+    uio::FileRegistry registry;
+    mgr::SystemPageCacheManager spcm;
+    mgr::DefaultSegmentManager ucds;
+    uio::BlockIo io;
+};
+
+} // namespace vpp::apps
+
+#endif // VPP_APPS_STACK_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace-shaped synthetic applications for the paper's §3.2 study.
+ *
+ * The measurements in Tables 2 and 3 depend on each program's I/O
+ * volume, allocation behaviour and compute time — not on what the
+ * program means. Each AppSpec reproduces the published footprint of
+ * one workload (diff, uncompress, latex): input bytes read through the
+ * cached-file interface, output bytes appended, heap/stack pages
+ * first-touched, data pages copy-on-written, and the pure compute
+ * that dominates elapsed time. The same spec runs on the V++ stack
+ * (default segment manager, 4 KB I/O unit) and on the conventional
+ * baseline (in-kernel faults with zero-fill, 8 KB I/O unit).
+ */
+
+#ifndef VPP_APPS_WORKLOAD_H
+#define VPP_APPS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/stack.h"
+#include "baseline/conventional_vm.h"
+
+namespace vpp::apps {
+
+struct AppSpec
+{
+    std::string name;
+    std::vector<std::uint64_t> inputBytes; ///< files read in full
+    std::uint64_t outputBytes = 0;         ///< appended to a new file
+    std::uint64_t heapBytes = 0;           ///< first-touch heap
+    std::uint64_t stackBytes = 0;          ///< first-touch stack
+    std::uint64_t cowDataBytes = 0;        ///< data pages copy-on-written
+    double computeMInstr = 0;              ///< pure compute, millions
+};
+
+/** diff: compare two 200 KB files generating 240 KB of differences. */
+AppSpec diffApp();
+
+/** uncompress: expand an 800 KB file into 2 MB. */
+AppSpec uncompressApp();
+
+/** latex: format a 100 KB document into a 23-page (96 KB) output. */
+AppSpec latexApp();
+
+struct AppRunResult
+{
+    std::string name;
+    double elapsedSec = 0;
+    std::uint64_t managerCalls = 0;  ///< V++ only (Table 3 col 1)
+    std::uint64_t migrateCalls = 0;  ///< V++ only (Table 3 col 2)
+    std::uint64_t faults = 0;
+    std::uint64_t readCalls = 0;
+    std::uint64_t writeCalls = 0;
+};
+
+/**
+ * Run @p app on the V++ stack with its inputs pre-cached (the paper's
+ * worst case for V++: no I/O latency hides the manager cost).
+ */
+AppRunResult runOnVpp(VppStack &stack, const AppSpec &app);
+
+/** Run @p app on the conventional (ULTRIX-like) system. */
+AppRunResult runOnBaseline(sim::Simulation &s,
+                           const hw::MachineConfig &machine,
+                           baseline::ConventionalVm &vm,
+                           uio::FileServer &server, const AppSpec &app);
+
+} // namespace vpp::apps
+
+#endif // VPP_APPS_WORKLOAD_H

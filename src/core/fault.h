@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fault records delivered to segment managers (paper Figure 2).
+ */
+
+#ifndef VPP_CORE_FAULT_H
+#define VPP_CORE_FAULT_H
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace vpp::kernel {
+
+class Process;
+
+enum class AccessType
+{
+    Read,
+    Write,
+};
+
+enum class FaultType
+{
+    MissingPage, ///< reference to a page with no frame
+    Protection,  ///< reference denied by page protection flags
+    CopyOnWrite, ///< write through a copy-on-write binding
+};
+
+const char *faultTypeName(FaultType t);
+
+/**
+ * Everything a manager learns about a fault. `segment`/`page` name the
+ * faulting location in the segment whose manager is being invoked;
+ * `vaSegment`/`vaPage` name the original reference in the address-space
+ * segment (they equal segment/page when the process referenced the
+ * managed segment directly, e.g. via the block file interface).
+ */
+struct Fault
+{
+    FaultType type = FaultType::MissingPage;
+    AccessType access = AccessType::Read;
+
+    SegmentId segment = kInvalidSegment;
+    PageIndex page = 0;
+
+    SegmentId vaSegment = kInvalidSegment;
+    PageIndex vaPage = 0;
+
+    Process *process = nullptr;
+
+    /// CopyOnWrite only: where the kernel will copy the data from.
+    SegmentId cowSource = kInvalidSegment;
+    PageIndex cowSourcePage = 0;
+};
+
+} // namespace vpp::kernel
+
+#endif // VPP_CORE_FAULT_H

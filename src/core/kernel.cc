@@ -1,0 +1,915 @@
+#include "core/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace vpp::kernel {
+
+const char *
+kernelErrcName(KernelErrc e)
+{
+    switch (e) {
+      case KernelErrc::BadSegment: return "BadSegment";
+      case KernelErrc::BadPage: return "BadPage";
+      case KernelErrc::PageBusy: return "PageBusy";
+      case KernelErrc::PageMissing: return "PageMissing";
+      case KernelErrc::NotContiguous: return "NotContiguous";
+      case KernelErrc::BadAlignment: return "BadAlignment";
+      case KernelErrc::SizeMismatch: return "SizeMismatch";
+      case KernelErrc::NoManager: return "NoManager";
+      case KernelErrc::Permission: return "Permission";
+      case KernelErrc::LimitExceeded: return "LimitExceeded";
+      case KernelErrc::FaultLoop: return "FaultLoop";
+    }
+    return "Unknown";
+}
+
+const char *
+faultTypeName(FaultType t)
+{
+    switch (t) {
+      case FaultType::MissingPage: return "MissingPage";
+      case FaultType::Protection: return "Protection";
+      case FaultType::CopyOnWrite: return "CopyOnWrite";
+    }
+    return "Unknown";
+}
+
+Kernel::Kernel(sim::Simulation &s, const hw::MachineConfig &config)
+    : sim_(&s), config_(config),
+      memory_(config.memoryBytes, config.pageSize)
+{
+    // On initialisation the kernel creates a well-known segment that
+    // includes all the page frames in physical-address order (§2.1).
+    auto phys = std::make_unique<Segment>(
+        kPhysSegment, "physmem", config_.pageSize, memory_.numFrames(),
+        kSystemUser);
+    frames_.resize(memory_.numFrames());
+    for (hw::FrameId f = 0; f < memory_.numFrames(); ++f) {
+        phys->pages()[f] =
+            PageEntry{f, flag::kReadable | flag::kWritable};
+        frames_[f] = FrameOwner{kPhysSegment, f, kSystemUser};
+    }
+    segments_[kPhysSegment] = std::move(phys);
+    nextSegment_ = 1;
+    if (config_.modelTlb)
+        tlb_ = std::make_unique<hw::Tlb>(config_.tlbEntries);
+}
+
+Segment &
+Kernel::segmentOrThrow(SegmentId s)
+{
+    auto it = segments_.find(s);
+    if (it == segments_.end())
+        throw KernelError(KernelErrc::BadSegment,
+                          "segment " + std::to_string(s));
+    return *it->second;
+}
+
+const Segment &
+Kernel::segmentOrThrow(SegmentId s) const
+{
+    auto it = segments_.find(s);
+    if (it == segments_.end())
+        throw KernelError(KernelErrc::BadSegment,
+                          "segment " + std::to_string(s));
+    return *it->second;
+}
+
+bool
+Kernel::segmentExists(SegmentId s) const
+{
+    return segments_.count(s) != 0;
+}
+
+Segment &
+Kernel::segment(SegmentId s)
+{
+    return segmentOrThrow(s);
+}
+
+const Segment &
+Kernel::segment(SegmentId s) const
+{
+    return segmentOrThrow(s);
+}
+
+const FrameOwner &
+Kernel::frameOwner(hw::FrameId f) const
+{
+    if (f >= frames_.size())
+        throw KernelError(KernelErrc::BadPage,
+                          "frame " + std::to_string(f));
+    return frames_[f];
+}
+
+std::uint64_t
+Kernel::physSegmentFrames() const
+{
+    return segmentOrThrow(kPhysSegment).presentPages();
+}
+
+std::uint32_t
+Kernel::framesPerPage(const Segment &s) const
+{
+    return s.pageSize() / memory_.frameSize();
+}
+
+// ----------------------------------------------------------------------
+// Functional primitives (zero simulated time)
+// ----------------------------------------------------------------------
+
+SegmentId
+Kernel::createSegmentNow(std::string name, std::uint32_t page_size,
+                         std::uint64_t page_limit, UserId owner,
+                         SegmentManager *mgr)
+{
+    if (page_size < memory_.frameSize() ||
+        page_size % memory_.frameSize() != 0) {
+        throw KernelError(KernelErrc::BadAlignment,
+                          "page size must be a multiple of the frame "
+                          "size");
+    }
+    SegmentId id = nextSegment_++;
+    auto seg = std::make_unique<Segment>(id, std::move(name), page_size,
+                                         page_limit, owner);
+    seg->setManager(mgr);
+    segments_[id] = std::move(seg);
+    ++stats_.segmentsCreated;
+    return id;
+}
+
+void
+Kernel::setSegmentManagerNow(SegmentId seg, SegmentManager *mgr)
+{
+    segmentOrThrow(seg).setManager(mgr);
+}
+
+void
+Kernel::bindRegionNow(SegmentId seg, PageIndex at, std::uint64_t pages,
+                      SegmentId target, PageIndex target_start,
+                      std::uint32_t prot, bool copy_on_write)
+{
+    Segment &s = segmentOrThrow(seg);
+    Segment &t = segmentOrThrow(target);
+    if (seg == target)
+        throw KernelError(KernelErrc::BadSegment, "self-binding");
+    if (s.pageSize() != t.pageSize()) {
+        throw KernelError(KernelErrc::SizeMismatch,
+                          "bound segments must share a page size");
+    }
+    if (at + pages > s.pageLimit() ||
+        target_start + pages > t.pageLimit()) {
+        throw KernelError(KernelErrc::LimitExceeded, "binding range");
+    }
+    for (const auto &b : s.bindings()) {
+        if (at < b.start + b.pages && b.start < at + pages)
+            throw KernelError(KernelErrc::PageBusy, "regions overlap");
+    }
+    s.bindings().push_back(
+        Binding{at, pages, target, target_start,
+                prot & flag::kProtMask, copy_on_write});
+    ++bindRefs_[target];
+}
+
+void
+Kernel::unbindRegionNow(SegmentId seg, PageIndex at)
+{
+    Segment &s = segmentOrThrow(seg);
+    auto &bs = s.bindings();
+    auto it = std::find_if(bs.begin(), bs.end(),
+                           [at](const Binding &b) { return b.start == at; });
+    if (it == bs.end())
+        throw KernelError(KernelErrc::BadPage, "no region at page");
+    --bindRefs_[it->target];
+    bs.erase(it);
+}
+
+void
+Kernel::resolveForInstall(SegmentId &seg, PageIndex &page) const
+{
+    // MigratePages on a bound region operates on the associated
+    // segment (§2.1); copy-on-write bindings are not followed, so an
+    // install there creates the private shadow page.
+    for (int depth = 0; depth < kMaxBindingDepth; ++depth) {
+        const Segment &s = segmentOrThrow(seg);
+        if (s.findPage(page))
+            return;
+        const Binding *b = s.findBinding(page);
+        if (!b || b->copyOnWrite)
+            return;
+        seg = b->target;
+        page = b->targetStart + (page - b->start);
+    }
+    throw KernelError(KernelErrc::BadSegment, "binding chain too deep");
+}
+
+std::uint64_t
+Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
+                        PageIndex dst_page, std::uint64_t pages,
+                        std::uint32_t set_flags, std::uint32_t clear_flags,
+                        std::uint64_t *bytes_zeroed)
+{
+    if (pages == 0)
+        return 0;
+
+    resolveForInstall(src, src_page);
+    resolveForInstall(dst, dst_page);
+    Segment &s = segmentOrThrow(src);
+    Segment &d = segmentOrThrow(dst);
+    if (src == dst && !(src_page + pages <= dst_page ||
+                        dst_page + pages <= src_page)) {
+        throw KernelError(KernelErrc::PageBusy,
+                          "overlapping self-migration");
+    }
+
+    const std::uint64_t total_bytes =
+        pages * static_cast<std::uint64_t>(s.pageSize());
+    if (total_bytes % d.pageSize() != 0) {
+        throw KernelError(KernelErrc::SizeMismatch,
+                          "source range not a whole number of "
+                          "destination pages");
+    }
+    const std::uint64_t ndst = total_bytes / d.pageSize();
+
+    if (src_page + pages > s.pageLimit())
+        throw KernelError(KernelErrc::LimitExceeded, "source range");
+    if (dst_page + ndst > d.pageLimit())
+        throw KernelError(KernelErrc::LimitExceeded, "destination range");
+
+    // Validate before mutating: all source pages present, all
+    // destination pages empty.
+    std::vector<const PageEntry *> src_entries;
+    src_entries.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const PageEntry *e = s.findPage(src_page + i);
+        if (!e) {
+            throw KernelError(KernelErrc::PageMissing,
+                              "source page " +
+                                  std::to_string(src_page + i));
+        }
+        src_entries.push_back(e);
+    }
+    for (std::uint64_t j = 0; j < ndst; ++j) {
+        if (d.findPage(dst_page + j)) {
+            throw KernelError(KernelErrc::PageBusy,
+                              "destination page " +
+                                  std::to_string(dst_page + j));
+        }
+    }
+
+    const std::uint32_t src_fpp = framesPerPage(s);
+    const std::uint32_t dst_fpp = framesPerPage(d);
+
+    // When coalescing small pages into a larger destination page, the
+    // constituent frames must be physically contiguous and aligned.
+    if (s.pageSize() < d.pageSize()) {
+        const std::uint64_t k = d.pageSize() / s.pageSize();
+        for (std::uint64_t j = 0; j < ndst; ++j) {
+            hw::FrameId first = src_entries[j * k]->frame;
+            if (first % dst_fpp != 0) {
+                throw KernelError(KernelErrc::BadAlignment,
+                                  "frames not aligned for large page");
+            }
+            for (std::uint64_t i = 1; i < k; ++i) {
+                if (src_entries[j * k + i]->frame !=
+                    first + i * src_fpp) {
+                    throw KernelError(KernelErrc::NotContiguous,
+                                      "frames not contiguous for large "
+                                      "page");
+                }
+            }
+        }
+    }
+
+    // Collect (frame, flags) per destination page, then commit.
+    struct NewEntry
+    {
+        hw::FrameId frame;
+        std::uint32_t flags;
+    };
+    std::vector<NewEntry> new_entries;
+    new_entries.reserve(ndst);
+
+    if (s.pageSize() <= d.pageSize()) {
+        const std::uint64_t k = d.pageSize() / s.pageSize();
+        for (std::uint64_t j = 0; j < ndst; ++j) {
+            std::uint32_t fl = 0;
+            for (std::uint64_t i = 0; i < k; ++i)
+                fl |= src_entries[j * k + i]->flags;
+            new_entries.push_back(
+                NewEntry{src_entries[j * k]->frame, fl});
+        }
+    } else {
+        const std::uint64_t k = s.pageSize() / d.pageSize();
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            for (std::uint64_t j = 0; j < k; ++j) {
+                new_entries.push_back(NewEntry{
+                    static_cast<hw::FrameId>(src_entries[i]->frame +
+                                             j * dst_fpp),
+                    src_entries[i]->flags});
+            }
+        }
+    }
+
+    // Commit: remove from source, install in destination.
+    for (std::uint64_t i = 0; i < pages; ++i)
+        s.pages().erase(src_page + i);
+
+    std::uint64_t zeroed = 0;
+    for (std::uint64_t j = 0; j < ndst; ++j) {
+        std::uint32_t fl =
+            (new_entries[j].flags | set_flags) & ~clear_flags;
+        hw::FrameId base = new_entries[j].frame;
+        if (fl & flag::kZeroFill) {
+            for (std::uint32_t f = 0; f < dst_fpp; ++f)
+                memory_.zero(base + f);
+            zeroed += d.pageSize();
+            fl &= ~(flag::kZeroFill | flag::kDirty);
+        }
+        d.pages()[dst_page + j] = PageEntry{base, fl};
+        for (std::uint32_t f = 0; f < dst_fpp; ++f) {
+            FrameOwner &owner = frames_[base + f];
+            owner.segment = dst;
+            owner.page = dst_page + j;
+            // "Last user" tracks the last non-system holder so the
+            // allocator can skip zero-filling a frame that returns to
+            // the same user (paper §3.1); parking a frame in a
+            // system-owned pool does not launder it.
+            if (d.owner() != kSystemUser)
+                owner.lastUser = d.owner();
+        }
+    }
+
+    if (zeroed) {
+        ++stats_.zeroFills;
+        stats_.bytesZeroed += zeroed;
+    }
+    if (bytes_zeroed)
+        *bytes_zeroed = zeroed;
+    stats_.pagesMigrated += pages;
+    return ndst;
+}
+
+std::uint64_t
+Kernel::modifyPageFlagsNow(SegmentId seg, PageIndex page,
+                           std::uint64_t pages, std::uint32_t set_flags,
+                           std::uint32_t clear_flags)
+{
+    Segment &s = segmentOrThrow(seg);
+    std::uint64_t modified = 0;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        PageEntry *e = s.findPage(page + i);
+        if (!e)
+            continue;
+        e->flags = (e->flags | set_flags) & ~clear_flags;
+        ++modified;
+    }
+    return modified;
+}
+
+std::vector<PageAttribute>
+Kernel::getPageAttributesNow(SegmentId seg, PageIndex page,
+                             std::uint64_t pages) const
+{
+    const Segment &s = segmentOrThrow(seg);
+    std::vector<PageAttribute> out;
+    out.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        PageAttribute a;
+        a.page = page + i;
+        if (const PageEntry *e = s.findPage(page + i)) {
+            a.present = true;
+            a.flags = e->flags;
+            a.frame = e->frame;
+            a.physAddr = memory_.physAddr(e->frame);
+        }
+        out.push_back(a);
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Charged (paper API) operations
+// ----------------------------------------------------------------------
+
+sim::Task<SegmentId>
+Kernel::createSegment(std::string name, std::uint32_t page_size,
+                      std::uint64_t page_limit, UserId owner,
+                      SegmentManager *mgr)
+{
+    co_await sim_->delay(config_.cost.syscall);
+    co_return createSegmentNow(std::move(name), page_size, page_limit,
+                               owner, mgr);
+}
+
+sim::Task<>
+Kernel::setSegmentManager(SegmentId seg, SegmentManager *mgr)
+{
+    co_await sim_->delay(config_.cost.syscall);
+    setSegmentManagerNow(seg, mgr);
+}
+
+sim::Task<>
+Kernel::bindRegion(SegmentId seg, PageIndex at, std::uint64_t pages,
+                   SegmentId target, PageIndex target_start,
+                   std::uint32_t prot, bool copy_on_write)
+{
+    co_await sim_->delay(config_.cost.syscall + config_.cost.bindRegion);
+    bindRegionNow(seg, at, pages, target, target_start, prot,
+                  copy_on_write);
+}
+
+sim::Task<>
+Kernel::unbindRegion(SegmentId seg, PageIndex at)
+{
+    co_await sim_->delay(config_.cost.syscall + config_.cost.bindRegion);
+    unbindRegionNow(seg, at);
+}
+
+sim::Task<std::uint64_t>
+Kernel::migratePages(SegmentId src, SegmentId dst, PageIndex src_page,
+                     PageIndex dst_page, std::uint64_t pages,
+                     std::uint32_t set_flags, std::uint32_t clear_flags)
+{
+    ++stats_.migrateCalls;
+    co_await sim_->delay(
+        config_.cost.migrateBase +
+        static_cast<sim::Duration>(pages) *
+            (config_.cost.migratePerPage + config_.cost.mapInstall));
+    std::uint64_t zeroed = 0;
+    std::uint64_t ndst = migratePagesNow(src, dst, src_page, dst_page,
+                                         pages, set_flags, clear_flags,
+                                         &zeroed);
+    if (zeroed)
+        co_await chargeZero(zeroed);
+    co_return ndst;
+}
+
+sim::Task<std::uint64_t>
+Kernel::modifyPageFlags(SegmentId seg, PageIndex page,
+                        std::uint64_t pages, std::uint32_t set_flags,
+                        std::uint32_t clear_flags)
+{
+    ++stats_.modifyFlagCalls;
+    co_await sim_->delay(
+        config_.cost.modifyFlagsBase +
+        static_cast<sim::Duration>(pages) *
+            config_.cost.modifyFlagsPerPage);
+    co_return modifyPageFlagsNow(seg, page, pages, set_flags,
+                                 clear_flags);
+}
+
+sim::Task<std::vector<PageAttribute>>
+Kernel::getPageAttributes(SegmentId seg, PageIndex page,
+                          std::uint64_t pages)
+{
+    ++stats_.getAttrCalls;
+    co_await sim_->delay(
+        config_.cost.getAttrBase +
+        static_cast<sim::Duration>(pages) * config_.cost.getAttrPerPage);
+    co_return getPageAttributesNow(seg, page, pages);
+}
+
+sim::Task<>
+Kernel::destroySegment(SegmentId seg)
+{
+    co_await sim_->delay(config_.cost.syscall);
+    if (seg == kPhysSegment)
+        throw KernelError(KernelErrc::Permission,
+                          "cannot destroy the physical segment");
+    Segment &s = segmentOrThrow(seg);
+    if (bindRefs_[seg] > 0) {
+        throw KernelError(KernelErrc::PageBusy,
+                          "segment is the target of bound regions");
+    }
+    if (SegmentManager *mgr = s.manager())
+        co_await notifyClosed(mgr, seg);
+    sweepToPhysSegment(s);
+    for (const auto &b : s.bindings())
+        --bindRefs_[b.target];
+    segments_.erase(seg);
+    bindRefs_.erase(seg);
+    ++stats_.segmentsDestroyed;
+}
+
+void
+Kernel::sweepToPhysSegment(Segment &seg)
+{
+    Segment &phys = segmentOrThrow(kPhysSegment);
+    const std::uint32_t fpp = framesPerPage(seg);
+    for (auto &[page, entry] : seg.pages()) {
+        for (std::uint32_t f = 0; f < fpp; ++f) {
+            hw::FrameId fid = entry.frame + f;
+            phys.pages()[fid] =
+                PageEntry{fid, flag::kReadable | flag::kWritable};
+            // Remember the last user so the allocator can decide
+            // whether a future grant needs zero-filling.
+            frames_[fid].segment = kPhysSegment;
+            frames_[fid].page = fid;
+        }
+    }
+    seg.pages().clear();
+}
+
+// ----------------------------------------------------------------------
+// Fault path
+// ----------------------------------------------------------------------
+
+Kernel::Resolution
+Kernel::resolve(SegmentId seg, PageIndex page)
+{
+    Resolution r;
+    SegmentId cur_seg = seg;
+    PageIndex cur_page = page;
+    for (int depth = 0; depth < kMaxBindingDepth; ++depth) {
+        Segment &s = segmentOrThrow(cur_seg);
+        if (!s.inRange(cur_page))
+            throw KernelError(KernelErrc::BadPage,
+                              "page beyond segment limit");
+        if (PageEntry *e = s.findPage(cur_page)) {
+            r.present = true;
+            r.seg = cur_seg;
+            r.page = cur_page;
+            r.entry = e;
+            return r;
+        }
+        const Binding *b = s.findBinding(cur_page);
+        if (!b) {
+            r.present = false;
+            r.seg = cur_seg;
+            r.page = cur_page;
+            return r;
+        }
+        r.regionProt &= b->prot;
+        if (b->copyOnWrite && !r.viaCow) {
+            r.viaCow = true;
+            r.cowSeg = cur_seg;
+            r.cowPage = cur_page;
+        }
+        cur_seg = b->target;
+        cur_page = b->targetStart + (cur_page - b->start);
+    }
+    throw KernelError(KernelErrc::BadSegment, "binding chain too deep");
+}
+
+sim::SimMutex &
+Kernel::managerLock(SegmentManager *mgr)
+{
+    auto &slot = mgrLocks_[mgr];
+    if (!slot)
+        slot = std::make_unique<sim::SimMutex>(*sim_);
+    return *slot;
+}
+
+sim::Task<>
+Kernel::deliverFault(Fault f)
+{
+    ++stats_.faults;
+    switch (f.type) {
+      case FaultType::MissingPage: ++stats_.missingFaults; break;
+      case FaultType::Protection: ++stats_.protectionFaults; break;
+      case FaultType::CopyOnWrite: ++stats_.cowFaults; break;
+    }
+    if (f.process)
+        f.process->noteFault();
+
+    Segment &fseg = segmentOrThrow(f.segment);
+    SegmentManager *mgr = fseg.manager();
+    if (!mgr) {
+        throw KernelError(KernelErrc::NoManager,
+                          "segment " + std::to_string(f.segment) + " (" +
+                              fseg.name() + ") has no manager");
+    }
+
+    const auto &c = config_.cost;
+    co_await sim_->delay(c.trapEnter + c.faultDispatch);
+    mgr->noteCall();
+    ++stats_.managerCalls;
+
+    if (mgr->mode() == hw::ManagerMode::SameProcess) {
+        co_await sim_->delay(c.upcall);
+        co_await mgr->handleFault(*this, f);
+        mgr->noteFaultHandled();
+        co_await sim_->delay(config_.resumeThroughKernel ? c.kernelResume
+                                                         : c.directResume);
+    } else {
+        co_await sim_->delay(c.ipcSend + c.contextSwitch);
+        sim::SimMutex &lock = managerLock(mgr);
+        co_await lock.lock();
+        try {
+            co_await mgr->handleFault(*this, f);
+        } catch (...) {
+            lock.unlock();
+            throw;
+        }
+        lock.unlock();
+        mgr->noteFaultHandled();
+        co_await sim_->delay(c.ipcReply + c.contextSwitch + c.trapExit);
+    }
+
+    // Copy-on-write: the kernel performs the copy after the manager
+    // has allocated a page (§2.1).
+    if (f.type == FaultType::CopyOnWrite) {
+        Segment &cow_seg = segmentOrThrow(f.segment);
+        PageEntry *dst = cow_seg.findPage(f.page);
+        if (dst) {
+            const Segment &src_seg = segmentOrThrow(f.cowSource);
+            const PageEntry *src = src_seg.findPage(f.cowSourcePage);
+            if (src) {
+                const std::uint32_t fpp = framesPerPage(cow_seg);
+                for (std::uint32_t i = 0; i < fpp; ++i)
+                    memory_.copyFrame(dst->frame + i, src->frame + i);
+                co_await chargeCopy(cow_seg.pageSize());
+                dst->flags |= flag::kReadable | flag::kWritable |
+                              flag::kDirty;
+            }
+        }
+    }
+}
+
+sim::Task<>
+Kernel::notifyClosed(SegmentManager *mgr, SegmentId seg)
+{
+    const auto &c = config_.cost;
+    mgr->noteCall();
+    ++stats_.managerCalls;
+    if (mgr->mode() == hw::ManagerMode::SameProcess) {
+        co_await sim_->delay(c.upcall);
+        co_await mgr->segmentClosed(*this, seg);
+        co_await sim_->delay(config_.resumeThroughKernel ? c.kernelResume
+                                                         : c.directResume);
+    } else {
+        co_await sim_->delay(c.ipcSend + c.contextSwitch);
+        sim::SimMutex &lock = managerLock(mgr);
+        co_await lock.lock();
+        try {
+            co_await mgr->segmentClosed(*this, seg);
+        } catch (...) {
+            lock.unlock();
+            throw;
+        }
+        lock.unlock();
+        co_await sim_->delay(c.ipcReply + c.contextSwitch + c.trapExit);
+    }
+}
+
+sim::Task<>
+Kernel::touchSegment(Process &p, SegmentId seg, PageIndex page,
+                     AccessType a)
+{
+    for (int attempt = 0; attempt < kMaxFaultRetries; ++attempt) {
+        Resolution r = resolve(seg, page);
+        const std::uint32_t need =
+            a == AccessType::Write ? flag::kWritable : flag::kReadable;
+
+        if (r.present) {
+            if (!(r.regionProt & need)) {
+                // The mapping itself forbids this access: not a
+                // manager-resolvable fault but an access violation.
+                throw KernelError(KernelErrc::Permission,
+                                  "region protection");
+            }
+            const bool cow_write =
+                a == AccessType::Write && r.viaCow;
+            if (!cow_write && (r.entry->flags & need)) {
+                r.entry->flags |= flag::kReferenced;
+                if (a == AccessType::Write)
+                    r.entry->flags |= flag::kDirty;
+                // Simple TLB misses are handled by the kernel (§2.1):
+                // a refill costs a short in-kernel excursion, no
+                // manager involvement.
+                if (tlb_ && !tlb_->access(seg, page)) {
+                    ++stats_.tlbMisses;
+                    co_await sim_->delay(config_.tlbRefill);
+                }
+                co_return;
+            }
+
+            Fault f;
+            f.access = a;
+            f.process = &p;
+            f.vaSegment = seg;
+            f.vaPage = page;
+            if (cow_write && (r.entry->flags & flag::kReadable)) {
+                f.type = FaultType::CopyOnWrite;
+                f.segment = r.cowSeg;
+                f.page = r.cowPage;
+                f.cowSource = r.seg;
+                f.cowSourcePage = r.page;
+            } else {
+                // Insufficient page protection (possibly the source of
+                // a copy-on-write chain that is itself protected).
+                f.type = FaultType::Protection;
+                f.segment = r.seg;
+                f.page = r.page;
+            }
+            co_await deliverFault(f);
+            continue;
+        }
+
+        Fault f;
+        f.type = FaultType::MissingPage;
+        f.access = a;
+        f.process = &p;
+        f.segment = r.seg;
+        f.page = r.page;
+        f.vaSegment = seg;
+        f.vaPage = page;
+        co_await deliverFault(f);
+    }
+    throw KernelError(KernelErrc::FaultLoop,
+                      "fault on segment " + std::to_string(seg) +
+                          " page " + std::to_string(page) +
+                          " unresolved after " +
+                          std::to_string(kMaxFaultRetries) + " retries");
+}
+
+sim::Task<>
+Kernel::touch(Process &p, std::uint64_t vaddr, AccessType a)
+{
+    SegmentId as = p.addressSpace();
+    const Segment &s = segmentOrThrow(as);
+    co_await touchSegment(p, as, vaddr / s.pageSize(), a);
+}
+
+// ----------------------------------------------------------------------
+// Data movement
+// ----------------------------------------------------------------------
+
+void
+Kernel::writePageData(SegmentId seg, PageIndex page, std::uint64_t offset,
+                      std::span<const std::byte> data)
+{
+    Segment &s = segmentOrThrow(seg);
+    PageEntry *e = s.findPage(page);
+    if (!e)
+        throw KernelError(KernelErrc::PageMissing, "writePageData");
+    if (offset + data.size() > s.pageSize())
+        throw KernelError(KernelErrc::LimitExceeded, "writePageData");
+    const std::uint32_t fs = memory_.frameSize();
+    std::uint64_t off = offset;
+    std::size_t done = 0;
+    while (done < data.size()) {
+        hw::FrameId f = e->frame + static_cast<hw::FrameId>(off / fs);
+        std::uint64_t in_frame = off % fs;
+        std::size_t n = std::min<std::size_t>(fs - in_frame,
+                                              data.size() - done);
+        std::memcpy(memory_.data(f) + in_frame, data.data() + done, n);
+        done += n;
+        off += n;
+    }
+}
+
+void
+Kernel::readPageData(SegmentId seg, PageIndex page, std::uint64_t offset,
+                     std::span<std::byte> out)
+{
+    Segment &s = segmentOrThrow(seg);
+    PageEntry *e = s.findPage(page);
+    if (!e)
+        throw KernelError(KernelErrc::PageMissing, "readPageData");
+    if (offset + out.size() > s.pageSize())
+        throw KernelError(KernelErrc::LimitExceeded, "readPageData");
+    const std::uint32_t fs = memory_.frameSize();
+    std::uint64_t off = offset;
+    std::size_t done = 0;
+    while (done < out.size()) {
+        hw::FrameId f = e->frame + static_cast<hw::FrameId>(off / fs);
+        std::uint64_t in_frame = off % fs;
+        std::size_t n = std::min<std::size_t>(fs - in_frame,
+                                              out.size() - done);
+        const std::byte *src = memory_.peek(f);
+        if (src)
+            std::memcpy(out.data() + done, src + in_frame, n);
+        else
+            std::memset(out.data() + done, 0, n);
+        done += n;
+        off += n;
+    }
+}
+
+sim::Task<>
+Kernel::copyIn(Process &p, std::uint64_t vaddr,
+               std::span<const std::byte> data)
+{
+    SegmentId as = p.addressSpace();
+    const std::uint32_t ps = segmentOrThrow(as).pageSize();
+    std::size_t done = 0;
+    while (done < data.size()) {
+        PageIndex page = (vaddr + done) / ps;
+        std::uint64_t in_page = (vaddr + done) % ps;
+        std::size_t n = std::min<std::size_t>(ps - in_page,
+                                              data.size() - done);
+        co_await touchSegment(p, as, page, AccessType::Write);
+        Resolution r = resolve(as, page);
+        if (!r.present)
+            throw KernelError(KernelErrc::PageMissing, "copyIn");
+        writePageData(r.seg, r.page, in_page,
+                      data.subspan(done, n));
+        done += n;
+    }
+    co_await chargeCopy(data.size());
+}
+
+sim::Task<>
+Kernel::copyOut(Process &p, std::uint64_t vaddr, std::span<std::byte> out)
+{
+    SegmentId as = p.addressSpace();
+    const std::uint32_t ps = segmentOrThrow(as).pageSize();
+    std::size_t done = 0;
+    while (done < out.size()) {
+        PageIndex page = (vaddr + done) / ps;
+        std::uint64_t in_page = (vaddr + done) % ps;
+        std::size_t n = std::min<std::size_t>(ps - in_page,
+                                              out.size() - done);
+        co_await touchSegment(p, as, page, AccessType::Read);
+        Resolution r = resolve(as, page);
+        if (!r.present)
+            throw KernelError(KernelErrc::PageMissing, "copyOut");
+        readPageData(r.seg, r.page, in_page, out.subspan(done, n));
+        done += n;
+    }
+    co_await chargeCopy(out.size());
+}
+
+sim::Task<>
+Kernel::chargeCopy(std::uint64_t bytes)
+{
+    stats_.bytesCopied += bytes;
+    co_await sim_->delay(static_cast<sim::Duration>(
+        static_cast<double>(config_.cost.copyPerKB) * bytes / 1024.0));
+}
+
+sim::Task<>
+Kernel::chargeZero(std::uint64_t bytes)
+{
+    co_await sim_->delay(static_cast<sim::Duration>(
+        static_cast<double>(config_.cost.pageZeroPerKB) * bytes /
+        1024.0));
+}
+
+// ----------------------------------------------------------------------
+// Invariants
+// ----------------------------------------------------------------------
+
+bool
+Kernel::checkFrameInvariant(std::string *why) const
+{
+    std::vector<std::uint8_t> seen(frames_.size(), 0);
+    for (const auto &[sid, seg] : segments_) {
+        const std::uint32_t fpp =
+            seg->pageSize() / memory_.frameSize();
+        for (const auto &[page, entry] : seg->pages()) {
+            for (std::uint32_t i = 0; i < fpp; ++i) {
+                hw::FrameId f = entry.frame + i;
+                if (f >= frames_.size()) {
+                    if (why) {
+                        std::ostringstream os;
+                        os << "segment " << sid << " page " << page
+                           << " frame " << f << " out of range";
+                        *why = os.str();
+                    }
+                    return false;
+                }
+                if (seen[f]) {
+                    if (why) {
+                        std::ostringstream os;
+                        os << "frame " << f << " owned twice (segment "
+                           << sid << " page " << page << ")";
+                        *why = os.str();
+                    }
+                    return false;
+                }
+                seen[f] = 1;
+                if (frames_[f].segment != sid ||
+                    frames_[f].page != page) {
+                    if (why) {
+                        std::ostringstream os;
+                        os << "frame " << f << " ownership record ("
+                           << frames_[f].segment << ","
+                           << frames_[f].page
+                           << ") disagrees with segment " << sid
+                           << " page " << page;
+                        *why = os.str();
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+    for (hw::FrameId f = 0; f < seen.size(); ++f) {
+        if (!seen[f]) {
+            if (why) {
+                std::ostringstream os;
+                os << "frame " << f << " owned by no segment";
+                *why = os.str();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vpp::kernel

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * The V++ kernel virtual-memory module (paper §2.1).
+ *
+ * The kernel provides exactly the mechanism the paper argues for and no
+ * policy: segments with installable page frames, bound regions
+ * (including copy-on-write), an explicit manager per segment, the
+ * MigratePages / ModifyPageFlags / GetPageAttributes operations, and
+ * delivery of page, protection and copy-on-write faults to user-level
+ * managers. Page reclamation, writeback and allocation policy all live
+ * in process-level managers (src/managers, src/appmgr).
+ *
+ * Every public operation is a coroutine that charges its control-path
+ * cost from the machine's CostModel before doing the functional work;
+ * `...Now` variants perform the same work in zero simulated time and
+ * exist for setup code and tests.
+ */
+
+#ifndef VPP_CORE_KERNEL_H
+#define VPP_CORE_KERNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/manager.h"
+#include "core/process.h"
+#include "core/segment.h"
+#include "core/types.h"
+#include "hw/config.h"
+#include "hw/physmem.h"
+#include "hw/tlb.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace vpp::kernel {
+
+/** Ownership record for one base page frame. */
+struct FrameOwner
+{
+    SegmentId segment = kPhysSegment;
+    PageIndex page = 0;       ///< page index within the owning segment
+    UserId lastUser = kSystemUser; ///< last user the frame was given to
+};
+
+class Kernel
+{
+  public:
+    Kernel(sim::Simulation &s, const hw::MachineConfig &config);
+
+    sim::Simulation &simulation() { return *sim_; }
+    const hw::MachineConfig &config() const { return config_; }
+    hw::PhysicalMemory &memory() { return memory_; }
+
+    /** TLB model (active when MachineConfig::modelTlb is set). */
+    hw::Tlb *tlb() { return tlb_ ? tlb_.get() : nullptr; }
+
+    // ------------------------------------------------------------------
+    // Segment operations (paper API; charge simulated time)
+    // ------------------------------------------------------------------
+
+    sim::Task<SegmentId>
+    createSegment(std::string name, std::uint32_t page_size,
+                  std::uint64_t page_limit, UserId owner,
+                  SegmentManager *mgr = nullptr);
+
+    /**
+     * Destroy a segment: the manager is notified (segmentClosed) so it
+     * can reclaim the frames; any frames left afterwards are swept back
+     * into the physical segment.
+     */
+    sim::Task<> destroySegment(SegmentId seg);
+
+    /** SetSegmentManager(seg, manager) — paper §2.1. */
+    sim::Task<> setSegmentManager(SegmentId seg, SegmentManager *mgr);
+
+    /**
+     * Bind @p pages pages of @p seg starting at @p at to an equal range
+     * of @p target starting at @p target_start. Page sizes must match.
+     */
+    sim::Task<>
+    bindRegion(SegmentId seg, PageIndex at, std::uint64_t pages,
+               SegmentId target, PageIndex target_start,
+               std::uint32_t prot, bool copy_on_write = false);
+
+    sim::Task<> unbindRegion(SegmentId seg, PageIndex at);
+
+    /**
+     * MigratePages(src, dst, srcPage, dstPage, pages, sFlgs, cFlgs) —
+     * move page frames between segments, applying flag edits. Returns
+     * the number of destination pages created (differs from @p pages
+     * when the segments have different page sizes).
+     */
+    sim::Task<std::uint64_t>
+    migratePages(SegmentId src, SegmentId dst, PageIndex src_page,
+                 PageIndex dst_page, std::uint64_t pages,
+                 std::uint32_t set_flags, std::uint32_t clear_flags);
+
+    /** ModifyPageFlags — flag edits without moving frames. */
+    sim::Task<std::uint64_t>
+    modifyPageFlags(SegmentId seg, PageIndex page, std::uint64_t pages,
+                    std::uint32_t set_flags, std::uint32_t clear_flags);
+
+    /** GetPageAttributes — flags and physical address per page. */
+    sim::Task<std::vector<PageAttribute>>
+    getPageAttributes(SegmentId seg, PageIndex page, std::uint64_t pages);
+
+    // ------------------------------------------------------------------
+    // Memory reference path
+    // ------------------------------------------------------------------
+
+    /** Reference a byte address through the process's address space. */
+    sim::Task<> touch(Process &p, std::uint64_t vaddr, AccessType a);
+
+    /** Reference a page of a specific segment (block access path). */
+    sim::Task<>
+    touchSegment(Process &p, SegmentId seg, PageIndex page, AccessType a);
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    /** Copy bytes into an own page of a segment (no time charged). */
+    void
+    writePageData(SegmentId seg, PageIndex page, std::uint64_t offset,
+                  std::span<const std::byte> data);
+
+    /** Copy bytes out of an own page of a segment (no time charged). */
+    void
+    readPageData(SegmentId seg, PageIndex page, std::uint64_t offset,
+                 std::span<std::byte> out);
+
+    /** Write through a process's address space, faulting as needed. */
+    sim::Task<>
+    copyIn(Process &p, std::uint64_t vaddr,
+           std::span<const std::byte> data);
+
+    /** Read through a process's address space, faulting as needed. */
+    sim::Task<>
+    copyOut(Process &p, std::uint64_t vaddr, std::span<std::byte> out);
+
+    /** Charge memory-copy time for @p bytes. */
+    sim::Task<> chargeCopy(std::uint64_t bytes);
+
+    /** Charge zero-fill time for @p bytes. */
+    sim::Task<> chargeZero(std::uint64_t bytes);
+
+    // ------------------------------------------------------------------
+    // Zero-simulated-time functional primitives
+    // ------------------------------------------------------------------
+
+    SegmentId
+    createSegmentNow(std::string name, std::uint32_t page_size,
+                     std::uint64_t page_limit, UserId owner,
+                     SegmentManager *mgr = nullptr);
+
+    void setSegmentManagerNow(SegmentId seg, SegmentManager *mgr);
+
+    void
+    bindRegionNow(SegmentId seg, PageIndex at, std::uint64_t pages,
+                  SegmentId target, PageIndex target_start,
+                  std::uint32_t prot, bool copy_on_write = false);
+
+    void unbindRegionNow(SegmentId seg, PageIndex at);
+
+    std::uint64_t
+    migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
+                    PageIndex dst_page, std::uint64_t pages,
+                    std::uint32_t set_flags, std::uint32_t clear_flags,
+                    std::uint64_t *bytes_zeroed = nullptr);
+
+    std::uint64_t
+    modifyPageFlagsNow(SegmentId seg, PageIndex page, std::uint64_t pages,
+                       std::uint32_t set_flags, std::uint32_t clear_flags);
+
+    std::vector<PageAttribute>
+    getPageAttributesNow(SegmentId seg, PageIndex page,
+                         std::uint64_t pages) const;
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, managers, benchmarks)
+    // ------------------------------------------------------------------
+
+    bool segmentExists(SegmentId s) const;
+    Segment &segment(SegmentId s);
+    const Segment &segment(SegmentId s) const;
+
+    const FrameOwner &frameOwner(hw::FrameId f) const;
+
+    /** Number of frames currently in the physical segment (free pool). */
+    std::uint64_t physSegmentFrames() const;
+
+    /**
+     * Check the frame-conservation invariant: every base frame is owned
+     * by exactly one segment page, and ownership records agree with
+     * segment page tables. Returns true if consistent; otherwise fills
+     * @p why.
+     */
+    bool checkFrameInvariant(std::string *why = nullptr) const;
+
+    struct Stats
+    {
+        std::uint64_t faults = 0;
+        std::uint64_t missingFaults = 0;
+        std::uint64_t protectionFaults = 0;
+        std::uint64_t cowFaults = 0;
+        std::uint64_t managerCalls = 0;
+        std::uint64_t migrateCalls = 0;
+        std::uint64_t pagesMigrated = 0;
+        std::uint64_t modifyFlagCalls = 0;
+        std::uint64_t getAttrCalls = 0;
+        std::uint64_t zeroFills = 0;
+        std::uint64_t bytesZeroed = 0;
+        std::uint64_t bytesCopied = 0;
+        std::uint64_t segmentsCreated = 0;
+        std::uint64_t segmentsDestroyed = 0;
+        std::uint64_t tlbMisses = 0;
+
+        void reset() { *this = Stats{}; }
+    };
+
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+
+    /** Result of resolving a segment reference (exposed for tests). */
+    struct Resolution
+    {
+        bool present = false;      ///< a frame-backed entry was found
+        SegmentId seg = kInvalidSegment;  ///< entry owner / fault target
+        PageIndex page = 0;
+        PageEntry *entry = nullptr;
+        std::uint32_t regionProt = flag::kProtMask; ///< AND of region prots
+        bool viaCow = false;
+        SegmentId cowSeg = kInvalidSegment; ///< where a private copy goes
+        PageIndex cowPage = 0;
+    };
+
+    Resolution resolve(SegmentId seg, PageIndex page);
+
+  private:
+    static constexpr int kMaxFaultRetries = 8;
+    static constexpr int kMaxBindingDepth = 8;
+
+    sim::Task<> deliverFault(Fault f);
+    sim::Task<> notifyClosed(SegmentManager *mgr, SegmentId seg);
+    sim::SimMutex &managerLock(SegmentManager *mgr);
+
+    /** Follow non-copy-on-write bindings to the install target. */
+    void resolveForInstall(SegmentId &seg, PageIndex &page) const;
+
+    void sweepToPhysSegment(Segment &seg);
+
+    Segment &segmentOrThrow(SegmentId s);
+    const Segment &segmentOrThrow(SegmentId s) const;
+
+    std::uint32_t framesPerPage(const Segment &s) const;
+
+    sim::Simulation *sim_;
+    hw::MachineConfig config_;
+    hw::PhysicalMemory memory_;
+    SegmentId nextSegment_ = 0;
+    std::map<SegmentId, std::unique_ptr<Segment>> segments_;
+    std::map<SegmentId, int> bindRefs_; ///< # regions targeting a segment
+    std::vector<FrameOwner> frames_;
+    std::map<SegmentManager *, std::unique_ptr<sim::SimMutex>> mgrLocks_;
+    std::unique_ptr<hw::Tlb> tlb_;
+    Stats stats_;
+};
+
+/** Run a task to completion on a fresh simulation (test helper). */
+template <typename T>
+T
+runTask(sim::Simulation &s, sim::Task<T> t)
+{
+    std::optional<T> out;
+    s.spawn([](sim::Task<T> inner, std::optional<T> *o) -> sim::Task<> {
+        *o = co_await std::move(inner);
+    }(std::move(t), &out));
+    s.run();
+    if (!out)
+        throw sim::SimPanic("task did not complete");
+    return std::move(*out);
+}
+
+inline void
+runTask(sim::Simulation &s, sim::Task<> t)
+{
+    bool done = false;
+    s.spawn([](sim::Task<> inner, bool *d) -> sim::Task<> {
+        co_await std::move(inner);
+        *d = true;
+    }(std::move(t), &done));
+    s.run();
+    if (!done)
+        throw sim::SimPanic("task did not complete");
+}
+
+} // namespace vpp::kernel
+
+#endif // VPP_CORE_KERNEL_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulated process identity.
+ *
+ * A Process carries the address-space segment its references resolve
+ * through, the user it runs as (for the cross-user zero-fill policy)
+ * and fault accounting. Execution itself is expressed by workload
+ * coroutines; the kernel does not schedule processes.
+ */
+
+#ifndef VPP_CORE_PROCESS_H
+#define VPP_CORE_PROCESS_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace vpp::kernel {
+
+class Process
+{
+  public:
+    Process(std::string name, UserId uid)
+        : name_(std::move(name)), uid_(uid)
+    {}
+
+    const std::string &name() const { return name_; }
+    UserId uid() const { return uid_; }
+
+    SegmentId addressSpace() const { return addressSpace_; }
+    void setAddressSpace(SegmentId s) { addressSpace_ = s; }
+
+    /** Faults taken, by any type. */
+    std::uint64_t faults() const { return faults_; }
+    void noteFault() { ++faults_; }
+
+  private:
+    std::string name_;
+    UserId uid_;
+    SegmentId addressSpace_ = kInvalidSegment;
+    std::uint64_t faults_ = 0;
+};
+
+} // namespace vpp::kernel
+
+#endif // VPP_CORE_PROCESS_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Segments and bound regions (paper §2.1, Figure 1).
+ *
+ * A segment is a variable-size range of pages. Pages either hold a page
+ * frame directly (an *own* page) or are covered by a bound region that
+ * forwards references to another segment, optionally copy-on-write.
+ * Own pages override bindings: installing a frame at a bound page (the
+ * copy-on-write resolution) shadows the binding for that page.
+ */
+
+#ifndef VPP_CORE_SEGMENT_H
+#define VPP_CORE_SEGMENT_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "hw/types.h"
+
+namespace vpp::kernel {
+
+class SegmentManager;
+
+/** A page with a frame installed. */
+struct PageEntry
+{
+    hw::FrameId frame = hw::kInvalidFrame;
+    std::uint32_t flags = 0;
+};
+
+/** A bound region forwarding a page range to another segment. */
+struct Binding
+{
+    PageIndex start = 0;       ///< first covered page in this segment
+    std::uint64_t pages = 0;   ///< pages covered
+    SegmentId target = kInvalidSegment;
+    PageIndex targetStart = 0; ///< first page in the target
+    std::uint32_t prot = 0;    ///< max access allowed through the region
+    bool copyOnWrite = false;
+
+    bool
+    covers(PageIndex p) const
+    {
+        return p >= start && p < start + pages;
+    }
+};
+
+class Segment
+{
+  public:
+    Segment(SegmentId id, std::string name, std::uint32_t page_size,
+            std::uint64_t page_limit, UserId owner)
+        : id_(id), name_(std::move(name)), pageSize_(page_size),
+          pageLimit_(page_limit), owner_(owner)
+    {}
+
+    SegmentId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    std::uint32_t pageSize() const { return pageSize_; }
+    std::uint64_t pageLimit() const { return pageLimit_; }
+    UserId owner() const { return owner_; }
+
+    SegmentManager *manager() const { return manager_; }
+    void setManager(SegmentManager *m) { manager_ = m; }
+
+    /** Number of pages currently holding frames. */
+    std::uint64_t presentPages() const { return pages_.size(); }
+
+    const PageEntry *
+    findPage(PageIndex p) const
+    {
+        auto it = pages_.find(p);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    PageEntry *
+    findPage(PageIndex p)
+    {
+        auto it = pages_.find(p);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    /** The binding covering @p p, if any (bindings never overlap). */
+    const Binding *
+    findBinding(PageIndex p) const
+    {
+        for (const auto &b : bindings_)
+            if (b.covers(p))
+                return &b;
+        return nullptr;
+    }
+
+    const std::map<PageIndex, PageEntry> &pages() const { return pages_; }
+    std::map<PageIndex, PageEntry> &pages() { return pages_; }
+
+    const std::vector<Binding> &bindings() const { return bindings_; }
+    std::vector<Binding> &bindings() { return bindings_; }
+
+    bool
+    inRange(PageIndex p) const
+    {
+        return p < pageLimit_;
+    }
+
+  private:
+    SegmentId id_;
+    std::string name_;
+    std::uint32_t pageSize_;
+    std::uint64_t pageLimit_;
+    UserId owner_;
+    SegmentManager *manager_ = nullptr;
+    std::map<PageIndex, PageEntry> pages_;
+    std::vector<Binding> bindings_;
+};
+
+} // namespace vpp::kernel
+
+#endif // VPP_CORE_SEGMENT_H

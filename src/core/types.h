@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Identifiers and page-flag definitions for the V++ kernel VM.
+ */
+
+#ifndef VPP_CORE_TYPES_H
+#define VPP_CORE_TYPES_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "hw/types.h"
+
+namespace vpp::kernel {
+
+/** Segment identifier. Segment 0 is the well-known physical segment. */
+using SegmentId = std::uint32_t;
+
+constexpr SegmentId kInvalidSegment = ~SegmentId{0};
+
+/** The well-known segment holding every page frame at boot (§2.1). */
+constexpr SegmentId kPhysSegment = 0;
+
+/** Page index within a segment (units of that segment's page size). */
+using PageIndex = std::uint64_t;
+
+/** User identity, used for the cross-user zero-fill policy (§3.1). */
+using UserId = std::uint32_t;
+
+constexpr UserId kSystemUser = 0;
+
+/**
+ * Per-page state flags. Readable/Writable are the protection bits a
+ * conventional mprotect would manage; Dirty and Referenced are the
+ * state flags the paper makes manager-visible via ModifyPageFlags and
+ * GetPageAttributes. The remaining bits are manager policy hints that
+ * the kernel stores but does not interpret (except ZeroFill, which
+ * requests a zero-filled migration).
+ */
+namespace flag {
+
+constexpr std::uint32_t kReadable = 0x01;
+constexpr std::uint32_t kWritable = 0x02;
+constexpr std::uint32_t kDirty = 0x04;
+constexpr std::uint32_t kReferenced = 0x08;
+constexpr std::uint32_t kPinned = 0x10;      ///< manager hint: never steal
+constexpr std::uint32_t kDiscardable = 0x20; ///< manager hint: no writeback
+constexpr std::uint32_t kZeroFill = 0x40;    ///< migrate-time zero request
+
+constexpr std::uint32_t kProtMask = kReadable | kWritable;
+constexpr std::uint32_t kAll = 0x7f;
+
+} // namespace flag
+
+/** Result row of GetPageAttributes. */
+struct PageAttribute
+{
+    PageIndex page = 0;
+    bool present = false;
+    std::uint32_t flags = 0;
+    hw::FrameId frame = hw::kInvalidFrame;
+    hw::PhysAddr physAddr = 0;
+};
+
+/** Error categories for kernel-operation failures. */
+enum class KernelErrc
+{
+    BadSegment,
+    BadPage,
+    PageBusy,       ///< destination page already has a frame
+    PageMissing,    ///< operation requires a present page
+    NotContiguous,  ///< frame layout cannot form a larger page
+    BadAlignment,
+    SizeMismatch,
+    NoManager,
+    Permission,
+    LimitExceeded,
+    FaultLoop,      ///< manager failed to resolve a fault repeatedly
+};
+
+const char *kernelErrcName(KernelErrc e);
+
+/** Exception thrown on invalid kernel-operation use (caller bug). */
+class KernelError : public std::runtime_error
+{
+  public:
+    KernelError(KernelErrc code, const std::string &what)
+        : std::runtime_error(std::string(kernelErrcName(code)) + ": " +
+                             what),
+          code_(code)
+    {}
+
+    KernelErrc code() const { return code_; }
+
+  private:
+    KernelErrc code_;
+};
+
+} // namespace vpp::kernel
+
+#endif // VPP_CORE_TYPES_H

@@ -1,0 +1,125 @@
+#include "db/lock.h"
+
+namespace vpp::db {
+
+const char *
+lockModeName(LockMode m)
+{
+    switch (m) {
+      case LockMode::IS: return "IS";
+      case LockMode::IX: return "IX";
+      case LockMode::S: return "S";
+      case LockMode::X: return "X";
+    }
+    return "?";
+}
+
+bool
+lockCompatible(LockMode a, LockMode b)
+{
+    static const bool matrix[4][4] = {
+        //            IS     IX     S      X
+        /* IS */ {true, true, true, false},
+        /* IX */ {true, true, false, false},
+        /* S  */ {true, false, true, false},
+        /* X  */ {false, false, false, false},
+    };
+    return matrix[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool
+MultiModeLock::compatibleWithHolders(LockMode m) const
+{
+    for (int i = 0; i < 4; ++i) {
+        if (held_[i] > 0 &&
+            !lockCompatible(m, static_cast<LockMode>(i))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+MultiModeLock::tryAcquire(LockMode m)
+{
+    if (queue_.empty() && compatibleWithHolders(m)) {
+        ++held_[static_cast<int>(m)];
+        return true;
+    }
+    return false;
+}
+
+sim::Task<>
+MultiModeLock::acquire(LockMode m)
+{
+    if (tryAcquire(m))
+        co_return;
+    ++waits_;
+    queue_.push_back(Waiter{m, sim::Promise<>(*sim_), sim_->now()});
+    auto fut = queue_.back().wake.future();
+    co_await fut;
+}
+
+void
+MultiModeLock::release(LockMode m)
+{
+    --held_[static_cast<int>(m)];
+    drainQueue();
+}
+
+void
+MultiModeLock::drainQueue()
+{
+    // Grant from the front while the next waiter is compatible; stop
+    // at the first incompatible one (FIFO fairness).
+    while (!queue_.empty() &&
+           compatibleWithHolders(queue_.front().mode)) {
+        Waiter w = std::move(queue_.front());
+        queue_.pop_front();
+        ++held_[static_cast<int>(w.mode)];
+        waitTime_ += sim_->now() - w.since;
+        w.wake.setValue();
+    }
+}
+
+HierarchicalLockManager::HierarchicalLockManager(sim::Simulation &s,
+                                                 int relations)
+    : sim_(&s)
+{
+    relations_.reserve(relations);
+    for (int i = 0; i < relations; ++i)
+        relations_.push_back(std::make_unique<MultiModeLock>(s));
+}
+
+sim::Task<>
+HierarchicalLockManager::lockRelation(int rel, LockMode m)
+{
+    co_await relations_.at(rel)->acquire(m);
+}
+
+void
+HierarchicalLockManager::unlockRelation(int rel, LockMode m)
+{
+    relations_.at(rel)->release(m);
+}
+
+sim::Task<>
+HierarchicalLockManager::lockPage(int rel, std::uint64_t page,
+                                  LockMode m)
+{
+    auto &slot = pages_[{rel, page}];
+    if (!slot)
+        slot = std::make_unique<MultiModeLock>(*sim_);
+    co_await slot->acquire(m);
+}
+
+void
+HierarchicalLockManager::unlockPage(int rel, std::uint64_t page,
+                                    LockMode m)
+{
+    auto it = pages_.find({rel, page});
+    if (it != pages_.end())
+        it->second->release(m);
+}
+
+} // namespace vpp::db

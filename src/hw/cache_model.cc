@@ -1,0 +1,66 @@
+#include "hw/cache_model.h"
+
+#include <stdexcept>
+
+namespace vpp::hw {
+
+CacheModel::CacheModel(std::uint64_t cache_bytes, std::uint32_t line_bytes,
+                       std::uint32_t assoc, std::uint32_t page_bytes)
+    : lineBytes_(line_bytes), assoc_(assoc), pageBytes_(page_bytes)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        throw std::invalid_argument("line size must be a power of two");
+    if (assoc == 0)
+        throw std::invalid_argument("associativity must be positive");
+    std::uint64_t nlines = cache_bytes / line_bytes;
+    if (nlines == 0 || nlines % assoc != 0)
+        throw std::invalid_argument("cache geometry inconsistent");
+    sets_ = static_cast<std::uint32_t>(nlines / assoc);
+    std::uint64_t way_bytes = cache_bytes / assoc;
+    colors_ = static_cast<std::uint32_t>(
+        way_bytes >= page_bytes ? way_bytes / page_bytes : 1);
+    lines_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+bool
+CacheModel::access(PhysAddr a)
+{
+    std::uint64_t line_addr = a / lineBytes_;
+    std::uint32_t set = static_cast<std::uint32_t>(line_addr % sets_);
+    std::uint64_t tag = line_addr / sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * assoc_];
+
+    ++tick_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    // Miss: fill the LRU (or first invalid) way.
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    ++misses_;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    tick_ = hits_ = misses_ = 0;
+}
+
+} // namespace vpp::hw

@@ -1,0 +1,106 @@
+#include "hw/config.h"
+
+namespace vpp::hw {
+
+using sim::usec;
+using sim::msec;
+
+MachineConfig
+decstation5000_200()
+{
+    MachineConfig m{};
+
+    // Calibration targets (paper Table 1, microseconds):
+    //   V++ faulting-process minimal fault
+    //     = trapEnter + faultDispatch + upcall + managerAlloc
+    //       + migrateBase + migratePerPage + mapInstall + directResume
+    //     = 4 + 14 + 10 + 24 + 30 + 8 + 14 + 3                 = 107
+    //   V++ default-manager minimal fault
+    //     = trapEnter + faultDispatch + ipcSend + contextSwitch
+    //       + managerAlloc + migrateBase + migratePerPage + mapInstall
+    //       + ipcReply + contextSwitch + trapExit
+    //     = 4+14+35+106+24+30+8+14+35+106+3                    = 379
+    //   Ultrix minimal fault
+    //     = trapEnter + bKernelFaultWork + zero(4 KB) + bMapInstall
+    //       + trapExit = 4 + 73 + 75 + 20 + 3                  = 175
+    //   Ultrix user-level (signal+mprotect) fault
+    //     = trapEnter + bSignalDeliver + bMprotect + bSigreturn
+    //     = 4 + 70 + 50 + 28                                   = 152
+    //   V++ read 4 KB  = syscall + uioLookup + copy = 20+22+180 = 222
+    //   V++ write 4 KB = syscall + uioWriteExtra + copy
+    //                  = 20 + 3 + 180                           = 203
+    //   Ultrix read 4 KB  = syscall + bFileLookup + copy        = 211
+    //   Ultrix write 4 KB = syscall + bFileLookup + bWriteExtra
+    //                       + copy = 20 + 11 + 100 + 180        = 311
+    m.cost.trapEnter = usec(4);
+    m.cost.trapExit = usec(3);
+    m.cost.syscall = usec(20);
+    m.cost.contextSwitch = usec(106);
+    m.cost.upcall = usec(10);
+    m.cost.directResume = usec(3);
+    m.cost.kernelResume = usec(25);
+
+    m.cost.ipcSend = usec(35);
+    m.cost.ipcReply = usec(35);
+
+    m.cost.faultDispatch = usec(14);
+    m.cost.migrateBase = usec(30);
+    m.cost.migratePerPage = usec(8);
+    m.cost.modifyFlagsBase = usec(22);
+    m.cost.modifyFlagsPerPage = usec(3);
+    m.cost.getAttrBase = usec(20);
+    m.cost.getAttrPerPage = usec(2);
+    m.cost.mapInstall = usec(14);
+    m.cost.bindRegion = usec(30);
+
+    m.cost.managerAlloc = usec(24);
+
+    m.cost.copyPerKB = usec(45);
+    m.cost.pageZeroPerKB = usec(18.75);
+
+    m.cost.uioLookup = usec(22);
+    m.cost.uioWriteExtra = usec(3);
+
+    m.cost.bKernelFaultWork = usec(73);
+    m.cost.bMapInstall = usec(20);
+    m.cost.bSignalDeliver = usec(70);
+    m.cost.bSigreturn = usec(28);
+    m.cost.bMprotect = usec(50);
+    m.cost.bFileLookup = usec(11);
+    m.cost.bWriteExtra = usec(100);
+
+    m.pageSize = 4096;
+    m.memoryBytes = 128ull << 20;
+    m.ncpus = 1;
+    m.mips = 20.0; // 25 MHz R3000, ~0.8 IPC
+
+    m.modelTlb = false; // opt-in: charge TLB refills on references
+    m.tlbEntries = 64;
+    m.tlbRefill = usec(1.5); // in-kernel software refill (R3000)
+
+    m.ioUnit = 4096;
+    m.diskLatency = msec(16);
+    m.diskBandwidthMBps = 2.0;
+    m.resumeThroughKernel = false; // R3000 allows direct resumption
+    m.defaultMgrMode = ManagerMode::SeparateProcess;
+
+    return m;
+}
+
+MachineConfig
+sgi4d380()
+{
+    // The study machine: "eight 30-MIPS processors" (paper footnote 1);
+    // the transaction experiment uses 6 of them.
+    MachineConfig m = decstation5000_200();
+    m.ncpus = 8;
+    m.mips = 30.0;
+    m.memoryBytes = 256ull << 20;
+    m.diskLatency = msec(15);
+    m.diskBandwidthMBps = 3.0;
+    // The 4D/380 (MIPS R3000-based) also permits direct resumption.
+    m.resumeThroughKernel = false;
+    return m;
+}
+
+} // namespace vpp::hw

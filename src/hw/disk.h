@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Secondary-storage latency model.
+ *
+ * A Disk serves one request at a time; each transfer costs an average
+ * positioning latency plus size/bandwidth. The paper's argument rests
+ * on this latency ("a page fault to secondary storage now costing close
+ * to a million instruction times"), so the model is deliberately simple
+ * and explicit.
+ */
+
+#ifndef VPP_HW_DISK_H
+#define VPP_HW_DISK_H
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace vpp::hw {
+
+class Disk
+{
+  public:
+    Disk(sim::Simulation &s, sim::Duration latency, double bandwidth_mbps)
+        : sim_(&s), mutex_(s), latency_(latency),
+          bandwidthMBps_(bandwidth_mbps)
+    {}
+
+    /** Simulated duration of a single transfer of @p bytes. */
+    sim::Duration
+    transferTime(std::uint64_t bytes) const
+    {
+        double transfer_s = static_cast<double>(bytes) /
+                            (bandwidthMBps_ * 1e6);
+        return latency_ + sim::sec(transfer_s);
+    }
+
+    sim::Task<>
+    read(std::uint64_t bytes)
+    {
+        co_await io(bytes);
+        ++reads_;
+        bytesRead_ += bytes;
+    }
+
+    sim::Task<>
+    write(std::uint64_t bytes)
+    {
+        co_await io(bytes);
+        ++writes_;
+        bytesWritten_ += bytes;
+    }
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    sim::Duration busyTime() const { return busy_; }
+
+  private:
+    sim::Task<>
+    io(std::uint64_t bytes)
+    {
+        co_await mutex_.lock();
+        sim::Duration d = transferTime(bytes);
+        busy_ += d;
+        co_await sim_->delay(d);
+        mutex_.unlock();
+    }
+
+    sim::Simulation *sim_;
+    sim::SimMutex mutex_;
+    sim::Duration latency_;
+    double bandwidthMBps_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    sim::Duration busy_ = 0;
+};
+
+} // namespace vpp::hw
+
+#endif // VPP_HW_DISK_H

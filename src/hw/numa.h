@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Distributed-memory topology (the paper's DASH motivation, §1/§2.2).
+ *
+ * "In the DASH machine, physical memory is distributed, even though
+ * the machine provides a consistent shared memory abstraction ... a
+ * large-scale application can allocate page frames to specific
+ * portions of the program based on a page frame's physical location."
+ *
+ * NumaTopology describes which node owns each physical address and
+ * what a reference costs from a given node. Placement policy lives in
+ * appmgr::PlacementManager; the SPCM's physical-range constraints do
+ * the allocation.
+ */
+
+#ifndef VPP_HW_NUMA_H
+#define VPP_HW_NUMA_H
+
+#include <cstdint>
+
+#include "hw/types.h"
+#include "sim/time.h"
+
+namespace vpp::hw {
+
+struct NumaTopology
+{
+    int nodes = 1;
+    std::uint64_t bytesPerNode = 0;
+    sim::Duration localAccess = 0;  ///< reference to home-node memory
+    sim::Duration remoteAccess = 0; ///< reference across the network
+
+    static NumaTopology
+    dashLike(int nodes, std::uint64_t total_bytes)
+    {
+        NumaTopology t;
+        t.nodes = nodes;
+        t.bytesPerNode = total_bytes / nodes;
+        // DASH-era ratios: a remote reference costs ~4x local.
+        t.localAccess = sim::nsec(120);
+        t.remoteAccess = sim::nsec(480);
+        return t;
+    }
+
+    int
+    nodeOf(PhysAddr a) const
+    {
+        return static_cast<int>(a / bytesPerNode) % nodes;
+    }
+
+    PhysAddr nodeBase(int node) const { return node * bytesPerNode; }
+
+    PhysAddr
+    nodeLimit(int node) const
+    {
+        return (node + 1) * static_cast<PhysAddr>(bytesPerNode);
+    }
+
+    sim::Duration
+    accessCost(int from_node, PhysAddr a) const
+    {
+        return nodeOf(a) == from_node ? localAccess : remoteAccess;
+    }
+};
+
+} // namespace vpp::hw
+
+#endif // VPP_HW_NUMA_H

@@ -1,0 +1,76 @@
+#include "hw/physmem.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vpp::hw {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t bytes, std::uint32_t frame_size)
+    : frameSize_(frame_size)
+{
+    if (frame_size == 0 || (frame_size & (frame_size - 1)) != 0)
+        throw std::invalid_argument("frame size must be a power of two");
+    if (bytes % frame_size != 0)
+        throw std::invalid_argument("memory size not frame-aligned");
+    frames_.resize(bytes / frame_size);
+}
+
+void
+PhysicalMemory::checkFrame(FrameId f) const
+{
+    if (f >= frames_.size())
+        throw std::out_of_range("frame id out of range");
+}
+
+std::byte *
+PhysicalMemory::data(FrameId f)
+{
+    checkFrame(f);
+    auto &buf = frames_[f];
+    if (!buf) {
+        buf = std::make_unique<std::byte[]>(frameSize_);
+        std::memset(buf.get(), 0, frameSize_);
+        allocated_ += frameSize_;
+    }
+    return buf.get();
+}
+
+const std::byte *
+PhysicalMemory::peek(FrameId f) const
+{
+    checkFrame(f);
+    return frames_[f].get();
+}
+
+bool
+PhysicalMemory::hasData(FrameId f) const
+{
+    checkFrame(f);
+    return frames_[f] != nullptr;
+}
+
+void
+PhysicalMemory::zero(FrameId f)
+{
+    checkFrame(f);
+    if (frames_[f]) {
+        frames_[f].reset();
+        allocated_ -= frameSize_;
+    }
+}
+
+void
+PhysicalMemory::copyFrame(FrameId dst, FrameId src)
+{
+    checkFrame(dst);
+    checkFrame(src);
+    if (dst == src)
+        return;
+    if (!frames_[src]) {
+        zero(dst);
+        return;
+    }
+    std::memcpy(data(dst), frames_[src].get(), frameSize_);
+}
+
+} // namespace vpp::hw

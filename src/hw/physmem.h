@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical memory: a flat array of page frames.
+ *
+ * Frames store real bytes so that data actually moves through the
+ * system (file contents survive page-out and page-in, copy-on-write
+ * copies are observable). Buffers are allocated lazily on first write;
+ * a frame with no buffer reads as zeroes, so simulating a 128 MB or
+ * 256 MB machine costs host memory only for frames actually dirtied.
+ */
+
+#ifndef VPP_HW_PHYSMEM_H
+#define VPP_HW_PHYSMEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/types.h"
+
+namespace vpp::hw {
+
+class PhysicalMemory
+{
+  public:
+    PhysicalMemory(std::uint64_t bytes, std::uint32_t frame_size);
+
+    std::uint64_t numFrames() const { return frames_.size(); }
+    std::uint32_t frameSize() const { return frameSize_; }
+    std::uint64_t bytes() const { return numFrames() * frameSize_; }
+
+    PhysAddr
+    physAddr(FrameId f) const
+    {
+        return static_cast<PhysAddr>(f) * frameSize_;
+    }
+
+    FrameId
+    frameOf(PhysAddr a) const
+    {
+        return static_cast<FrameId>(a / frameSize_);
+    }
+
+    /** Writable view of a frame's bytes; allocates backing on demand. */
+    std::byte *data(FrameId f);
+
+    /** Read-only view; nullptr if the frame has never been written. */
+    const std::byte *peek(FrameId f) const;
+
+    bool hasData(FrameId f) const;
+
+    /** Zero-fill a frame (drops its backing buffer). */
+    void zero(FrameId f);
+
+    /** Copy the full contents of frame @p src into frame @p dst. */
+    void copyFrame(FrameId dst, FrameId src);
+
+    /** Host memory currently committed to frame buffers. */
+    std::uint64_t allocatedDataBytes() const { return allocated_; }
+
+  private:
+    void checkFrame(FrameId f) const;
+
+    std::uint32_t frameSize_;
+    std::uint64_t allocated_ = 0;
+    std::vector<std::unique_ptr<std::byte[]>> frames_;
+};
+
+} // namespace vpp::hw
+
+#endif // VPP_HW_PHYSMEM_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small TLB model (R3000-style: fully associative, random replacement).
+ *
+ * The paper notes that "simple TLB misses are handled by the kernel";
+ * this model provides hit/miss accounting so experiments can charge a
+ * refill cost and so the coloring study can report TLB behaviour.
+ */
+
+#ifndef VPP_HW_TLB_H
+#define VPP_HW_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace vpp::hw {
+
+class Tlb
+{
+  public:
+    explicit Tlb(std::uint32_t entries = 64, std::uint64_t seed = 1)
+        : rng_(seed)
+    {
+        entries_.resize(entries);
+    }
+
+    /** Look up a (address-space id, virtual page number) pair. */
+    bool
+    access(std::uint32_t asid, std::uint64_t vpn)
+    {
+        for (auto &e : entries_) {
+            if (e.valid && e.asid == asid && e.vpn == vpn) {
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        Entry &victim = entries_[rng_.below(entries_.size())];
+        victim = Entry{asid, vpn, true};
+        return false;
+    }
+
+    /** Drop one translation (e.g. after MigratePages / protection change). */
+    void
+    invalidate(std::uint32_t asid, std::uint64_t vpn)
+    {
+        for (auto &e : entries_)
+            if (e.valid && e.asid == asid && e.vpn == vpn)
+                e.valid = false;
+    }
+
+    /** Drop all translations for an address space. */
+    void
+    invalidateAsid(std::uint32_t asid)
+    {
+        for (auto &e : entries_)
+            if (e.valid && e.asid == asid)
+                e.valid = false;
+    }
+
+    void
+    flush()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t asid = 0;
+        std::uint64_t vpn = 0;
+        bool valid = false;
+    };
+
+    sim::Random rng_;
+    std::vector<Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace vpp::hw
+
+#endif // VPP_HW_TLB_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Elementary hardware types shared across modules.
+ */
+
+#ifndef VPP_HW_TYPES_H
+#define VPP_HW_TYPES_H
+
+#include <cstdint>
+
+namespace vpp::hw {
+
+/** Physical page-frame number (in units of the base frame size). */
+using FrameId = std::uint32_t;
+
+/** Byte address in physical memory. */
+using PhysAddr = std::uint64_t;
+
+constexpr FrameId kInvalidFrame = ~FrameId{0};
+
+} // namespace vpp::hw
+
+#endif // VPP_HW_TYPES_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * V-style synchronous message passing (Send / Receive / Reply).
+ *
+ * A ServerPort<Req, Resp> connects client coroutines to a server
+ * coroutine. call() charges the send-side cost (message + context
+ * switch), blocks until the server replies, then charges the reply-side
+ * cost. This models the paper's separate-process manager communication;
+ * same-process upcalls bypass ports entirely (kernel charges the upcall
+ * cost and invokes the handler inline).
+ */
+
+#ifndef VPP_IPC_PORT_H
+#define VPP_IPC_PORT_H
+
+#include <cstdint>
+#include <utility>
+
+#include "hw/config.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace vpp::ipc {
+
+/** Per-direction cost of a synchronous call. */
+struct CallCost
+{
+    sim::Duration send;  ///< charged before the server sees the request
+    sim::Duration reply; ///< charged before the client resumes
+
+    static CallCost
+    fromMachine(const hw::MachineConfig &m)
+    {
+        return CallCost{m.cost.ipcSend + m.cost.contextSwitch,
+                        m.cost.ipcReply + m.cost.contextSwitch};
+    }
+};
+
+template <typename Req, typename Resp>
+class ServerPort
+{
+  public:
+    ServerPort(sim::Simulation &s, CallCost cost)
+        : sim_(&s), cost_(cost), queue_(s)
+    {}
+
+    /** Client side: synchronous remote call. */
+    sim::Task<Resp>
+    call(Req req)
+    {
+        ++calls_;
+        co_await sim_->delay(cost_.send);
+        sim::Promise<Resp> promise(*sim_);
+        auto fut = promise.future();
+        queue_.send(Pending{std::move(req), std::move(promise)});
+        Resp resp = co_await fut;
+        co_await sim_->delay(cost_.reply);
+        co_return resp;
+    }
+
+    /**
+     * Server side: wait for the next request. The returned Pending
+     * carries the request and the promise to fulfil as the reply.
+     */
+    struct Pending
+    {
+        Req request;
+        sim::Promise<Resp> reply;
+    };
+
+    sim::Task<Pending>
+    receive()
+    {
+        co_return co_await queue_.recv();
+    }
+
+    bool idle() const { return queue_.empty(); }
+    std::uint64_t calls() const { return calls_; }
+
+  private:
+    sim::Simulation *sim_;
+    CallCost cost_;
+    sim::Channel<Pending> queue_;
+    std::uint64_t calls_ = 0;
+};
+
+} // namespace vpp::ipc
+
+#endif // VPP_IPC_PORT_H

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The memory-market model of system memory allocation (paper §2.4).
+ *
+ * The SPCM charges a process M * D * T drams for holding M megabytes
+ * over T seconds at charge rate D; each process receives an income of
+ * I drams per second. A savings tax discourages hoarding (the market
+ * has fixed price and fixed supply), an I/O charge stops scan-heavy
+ * programs from substituting I/O for memory, and holdings are free of
+ * charge while there is no competing demand.
+ */
+
+#ifndef VPP_MANAGERS_MARKET_H
+#define VPP_MANAGERS_MARKET_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace vpp::mgr {
+
+struct MarketParams
+{
+    double chargePerMBSec = 1.0;   ///< D: drams per megabyte-second
+    double savingsTaxPerSec = 0.02; ///< fraction of balance taxed / s
+    double ioChargePerMB = 0.5;    ///< drams per megabyte transferred
+    double grantHorizonSec = 1.0;  ///< affordability lookahead
+    bool freeWhenUncontended = true;
+};
+
+/** One client's dram account. */
+struct DramAccount
+{
+    std::string name;
+    kernel::UserId uid = kernel::kSystemUser;
+    double incomeRate = 0.0; ///< I: drams per second
+    double balance = 0.0;
+    std::uint64_t bytesHeld = 0;
+    sim::SimTime lastSettle = 0;
+
+    // Lifetime accounting (observability / tests).
+    double totalIncome = 0.0;
+    double totalMemoryCharge = 0.0;
+    double totalIoCharge = 0.0;
+    double totalTax = 0.0;
+};
+
+class MemoryMarket
+{
+  public:
+    MemoryMarket(sim::Simulation &s, MarketParams p)
+        : sim_(&s), params_(p)
+    {}
+
+    const MarketParams &params() const { return params_; }
+
+    /**
+     * Bring @p a up to date: accrue income, charge for held memory
+     * (unless the market is uncontended and holdings are then free),
+     * and apply the savings tax on positive balances.
+     */
+    void
+    settle(DramAccount &a, bool contended) const
+    {
+        double dt = sim::toSec(sim_->now() - a.lastSettle);
+        a.lastSettle = sim_->now();
+        if (dt <= 0)
+            return;
+        double income = a.incomeRate * dt;
+        a.balance += income;
+        a.totalIncome += income;
+        if (contended || !params_.freeWhenUncontended) {
+            double mb = static_cast<double>(a.bytesHeld) / (1 << 20);
+            double charge = mb * params_.chargePerMBSec * dt;
+            a.balance -= charge;
+            a.totalMemoryCharge += charge;
+        }
+        if (a.balance > 0) {
+            double tax = a.balance * params_.savingsTaxPerSec * dt;
+            a.balance -= tax;
+            a.totalTax += tax;
+        }
+    }
+
+    /** Charge for I/O traffic (scan-structured-program rule). */
+    void
+    chargeIo(DramAccount &a, std::uint64_t bytes) const
+    {
+        double charge = static_cast<double>(bytes) / (1 << 20) *
+                        params_.ioChargePerMB;
+        a.balance -= charge;
+        a.totalIoCharge += charge;
+    }
+
+    /**
+     * The most bytes @p a could afford to hold for the grant horizon,
+     * given its balance plus the income it will receive meanwhile.
+     */
+    std::uint64_t
+    affordableBytes(const DramAccount &a) const
+    {
+        double h = params_.grantHorizonSec;
+        double usable = a.balance + a.incomeRate * h;
+        if (usable <= 0)
+            return 0;
+        double mb = usable / (params_.chargePerMBSec * h);
+        return static_cast<std::uint64_t>(mb * (1 << 20));
+    }
+
+    /** Seconds the account can sustain its holdings before going broke. */
+    double
+    runwaySec(const DramAccount &a) const
+    {
+        double mb = static_cast<double>(a.bytesHeld) / (1 << 20);
+        double burn = mb * params_.chargePerMBSec - a.incomeRate;
+        if (burn <= 0)
+            return 1e9;
+        return a.balance / burn;
+    }
+
+  private:
+    sim::Simulation *sim_;
+    MarketParams params_;
+};
+
+} // namespace vpp::mgr
+
+#endif // VPP_MANAGERS_MARKET_H

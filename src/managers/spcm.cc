@@ -1,0 +1,297 @@
+#include "managers/spcm.h"
+
+#include <algorithm>
+
+namespace vpp::mgr {
+
+using kernel::flag::kReadable;
+using kernel::flag::kWritable;
+using kernel::flag::kZeroFill;
+
+SystemPageCacheManager::SystemPageCacheManager(
+    kernel::Kernel &k, std::optional<MarketParams> market)
+    : kern_(&k), ipcCost_(ipc::CallCost::fromMachine(k.config())),
+      serial_(k.simulation())
+{
+    if (market)
+        market_.emplace(k.simulation(), *market);
+}
+
+ClientId
+SystemPageCacheManager::registerClient(
+    std::string name, kernel::UserId uid, double income_rate,
+    std::function<sim::Task<>(std::uint64_t)> reclaim)
+{
+    Client c;
+    c.account.name = std::move(name);
+    c.account.uid = uid;
+    c.account.incomeRate = income_rate;
+    c.account.lastSettle = kern_->simulation().now();
+    c.reclaim = std::move(reclaim);
+    clients_.push_back(std::move(c));
+    return static_cast<ClientId>(clients_.size() - 1);
+}
+
+std::uint64_t
+SystemPageCacheManager::freeFrames() const
+{
+    return kern_->segment(kernel::kPhysSegment).presentPages();
+}
+
+bool
+SystemPageCacheManager::contended() const
+{
+    // The pool is contended when requests have recently gone unmet or
+    // little memory remains free.
+    return pendingDemand_ > 0 ||
+           freeFrames() <
+               kern_->memory().numFrames() / 16;
+}
+
+bool
+SystemPageCacheManager::frameMatches(hw::FrameId f,
+                                     const Constraint &c) const
+{
+    switch (c.kind) {
+      case Constraint::Kind::None:
+        return true;
+      case Constraint::Kind::PhysRange: {
+        hw::PhysAddr a = kern_->memory().physAddr(f);
+        return a >= c.lo && a < c.hi;
+      }
+      case Constraint::Kind::Color:
+        return f % c.numColors == c.color;
+    }
+    return true;
+}
+
+std::vector<hw::FrameId>
+SystemPageCacheManager::pickFrames(std::uint64_t n,
+                                   const Constraint &c) const
+{
+    std::vector<hw::FrameId> out;
+    const auto &phys = kern_->segment(kernel::kPhysSegment);
+    for (const auto &[page, entry] : phys.pages()) {
+        if (out.size() >= n)
+            break;
+        if (frameMatches(entry.frame, c))
+            out.push_back(entry.frame);
+    }
+    return out;
+}
+
+sim::Task<std::uint64_t>
+SystemPageCacheManager::requestPages(ClientId c,
+                                     kernel::SegmentId dst_seg,
+                                     std::vector<kernel::PageIndex> slots,
+                                     Constraint constraint)
+{
+    Client &client = clients_.at(c);
+    co_await kern_->simulation().delay(ipcCost_.send);
+    co_await serial_.lock();
+
+    std::uint64_t want = slots.size();
+    const std::uint32_t page_size =
+        kern_->segment(dst_seg).pageSize();
+
+    if (market_) {
+        market_->settle(client.account, contended());
+        std::uint64_t afford =
+            market_->affordableBytes(client.account);
+        std::uint64_t held = client.account.bytesHeld;
+        std::uint64_t room =
+            afford > held ? (afford - held) / page_size : 0;
+        want = std::min(want, room);
+    }
+
+    std::vector<hw::FrameId> frames = pickFrames(want, constraint);
+    if (frames.size() < slots.size())
+        pendingDemand_ += slots.size() - frames.size();
+    else if (pendingDemand_ > 0)
+        --pendingDemand_;
+
+    // One MigratePages invocation moves the batch; frames may be
+    // scattered in the pool, so the functional move is per-frame.
+    if (!frames.empty()) {
+        ++kern_->stats().migrateCalls;
+        co_await kern_->simulation().delay(
+            kern_->config().cost.migrateBase +
+            static_cast<sim::Duration>(frames.size()) *
+                (kern_->config().cost.migratePerPage +
+                 kern_->config().cost.mapInstall));
+        std::uint64_t zero_bytes = 0;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            std::uint32_t set = kReadable | kWritable;
+            kernel::UserId last =
+                kern_->frameOwner(frames[i]).lastUser;
+            if (last != client.account.uid &&
+                last != kernel::kSystemUser) {
+                set |= kZeroFill; // security: crossed a user boundary
+            }
+            std::uint64_t zeroed = 0;
+            kern_->migratePagesNow(kernel::kPhysSegment, dst_seg,
+                                   frames[i], slots[i], 1, set,
+                                   kernel::flag::kDirty |
+                                       kernel::flag::kReferenced,
+                                   &zeroed);
+            zero_bytes += zeroed;
+        }
+        if (zero_bytes)
+            co_await kern_->chargeZero(zero_bytes);
+        client.account.bytesHeld +=
+            frames.size() * static_cast<std::uint64_t>(page_size);
+    }
+
+    ++grants_;
+    framesGranted_ += frames.size();
+    serial_.unlock();
+    co_await kern_->simulation().delay(ipcCost_.reply);
+    co_return frames.size();
+}
+
+sim::Task<std::uint64_t>
+SystemPageCacheManager::returnPages(ClientId c,
+                                    kernel::SegmentId src_seg,
+                                    std::vector<kernel::PageIndex> slots)
+{
+    Client &client = clients_.at(c);
+    co_await kern_->simulation().delay(ipcCost_.send);
+    co_await serial_.lock();
+
+    const std::uint32_t page_size =
+        kern_->segment(src_seg).pageSize();
+    std::uint64_t returned = 0;
+    if (!slots.empty()) {
+        ++kern_->stats().migrateCalls;
+        co_await kern_->simulation().delay(
+            kern_->config().cost.migrateBase +
+            static_cast<sim::Duration>(slots.size()) *
+                (kern_->config().cost.migratePerPage +
+                 kern_->config().cost.mapInstall));
+        for (kernel::PageIndex slot : slots) {
+            const kernel::PageEntry *e =
+                kern_->segment(src_seg).findPage(slot);
+            if (!e)
+                continue;
+            hw::FrameId f = e->frame;
+            kern_->migratePagesNow(src_seg, kernel::kPhysSegment, slot,
+                                   f, 1,
+                                   kReadable | kWritable,
+                                   kernel::flag::kDirty |
+                                       kernel::flag::kReferenced |
+                                       kernel::flag::kPinned);
+            ++returned;
+        }
+        std::uint64_t bytes = returned * page_size;
+        client.account.bytesHeld -=
+            std::min<std::uint64_t>(client.account.bytesHeld, bytes);
+    }
+    framesReturned_ += returned;
+    if (market_)
+        market_->settle(client.account, contended());
+    serial_.unlock();
+    co_await kern_->simulation().delay(ipcCost_.reply);
+    co_return returned;
+}
+
+std::uint64_t
+SystemPageCacheManager::grantNow(
+    ClientId c, kernel::SegmentId dst_seg,
+    const std::vector<kernel::PageIndex> &slots, Constraint constraint)
+{
+    Client &client = clients_.at(c);
+    if (market_)
+        market_->settle(client.account, contended());
+    const std::uint32_t page_size =
+        kern_->segment(dst_seg).pageSize();
+    std::vector<hw::FrameId> frames =
+        pickFrames(slots.size(), constraint);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        std::uint32_t set = kReadable | kWritable;
+        kernel::UserId last =
+            kern_->frameOwner(frames[i]).lastUser;
+        if (last != client.account.uid &&
+            last != kernel::kSystemUser) {
+            set |= kZeroFill;
+        }
+        kern_->migratePagesNow(kernel::kPhysSegment, dst_seg,
+                               frames[i], slots[i], 1, set,
+                               kernel::flag::kDirty |
+                                   kernel::flag::kReferenced);
+    }
+    client.account.bytesHeld +=
+        frames.size() * static_cast<std::uint64_t>(page_size);
+    framesGranted_ += frames.size();
+    return frames.size();
+}
+
+void
+SystemPageCacheManager::noteIo(ClientId c, std::uint64_t bytes)
+{
+    if (market_)
+        market_->chargeIo(clients_.at(c).account, bytes);
+}
+
+sim::Task<SystemPageCacheManager::MemoryInfo>
+SystemPageCacheManager::query(ClientId c)
+{
+    co_await kern_->simulation().delay(ipcCost_.send);
+    Client &client = clients_.at(c);
+    MemoryInfo info;
+    info.freeFrames = freeFrames();
+    info.totalFrames = kern_->memory().numFrames();
+    info.contended = contended();
+    if (market_) {
+        market_->settle(client.account, contended());
+        info.balance = client.account.balance;
+        info.incomeRate = client.account.incomeRate;
+        info.affordableBytes =
+            market_->affordableBytes(client.account);
+    } else {
+        info.affordableBytes = info.freeFrames *
+                               kern_->config().pageSize;
+    }
+    co_await kern_->simulation().delay(ipcCost_.reply);
+    co_return info;
+}
+
+sim::Task<>
+SystemPageCacheManager::patrol()
+{
+    if (!market_)
+        co_return;
+    const std::uint32_t page_size = kern_->config().pageSize;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        Client &client = clients_[i];
+        market_->settle(client.account, contended());
+        if (client.account.balance >= 0)
+            continue;
+        std::uint64_t afford =
+            market_->affordableBytes(client.account);
+        if (client.account.bytesHeld <= afford)
+            continue;
+        std::uint64_t excess_frames =
+            (client.account.bytesHeld - afford + page_size - 1) /
+            page_size;
+        if (client.reclaim && excess_frames > 0)
+            co_await client.reclaim(excess_frames);
+    }
+}
+
+void
+SystemPageCacheManager::startPatrol(sim::Duration interval)
+{
+    patrolRunning_ = true;
+    kern_->simulation().spawn(
+        [](SystemPageCacheManager *self,
+           sim::Duration ival) -> sim::Task<> {
+            while (self->patrolRunning_) {
+                co_await self->kern_->simulation().delay(ival);
+                if (!self->patrolRunning_)
+                    break;
+                co_await self->patrol();
+            }
+        }(this, interval));
+}
+
+} // namespace vpp::mgr

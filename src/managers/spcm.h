@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The System Page Cache Manager (paper §2.4).
+ *
+ * A process-level server that owns the global memory pool (the
+ * well-known physical segment) and allocates page frames to segment
+ * managers on demand. It honours requests for specific physical
+ * address ranges or cache colors (physical placement control, page
+ * coloring), applies the cross-user zero-fill policy, and optionally
+ * runs the memory-market model: clients that exhaust their dram supply
+ * are forced to return memory.
+ */
+
+#ifndef VPP_MANAGERS_SPCM_H
+#define VPP_MANAGERS_SPCM_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "ipc/port.h"
+#include "sim/sync.h"
+#include "managers/market.h"
+
+namespace vpp::mgr {
+
+using ClientId = std::uint32_t;
+
+/** Placement constraint on a frame request. */
+struct Constraint
+{
+    enum class Kind
+    {
+        None,
+        PhysRange, ///< frames with lo <= physAddr < hi
+        Color,     ///< frames whose page color == color (mod numColors)
+    };
+
+    Kind kind = Kind::None;
+    hw::PhysAddr lo = 0;
+    hw::PhysAddr hi = 0;
+    std::uint32_t color = 0;
+    std::uint32_t numColors = 1;
+
+    static Constraint
+    physRange(hw::PhysAddr lo, hw::PhysAddr hi)
+    {
+        Constraint c;
+        c.kind = Kind::PhysRange;
+        c.lo = lo;
+        c.hi = hi;
+        return c;
+    }
+
+    static Constraint
+    pageColor(std::uint32_t color, std::uint32_t num_colors)
+    {
+        Constraint c;
+        c.kind = Kind::Color;
+        c.color = color;
+        c.numColors = num_colors;
+        return c;
+    }
+};
+
+class SystemPageCacheManager
+{
+  public:
+    /**
+     * @param market  market parameters; nullopt disables charging and
+     *                makes every request affordable.
+     */
+    SystemPageCacheManager(kernel::Kernel &k,
+                           std::optional<MarketParams> market);
+
+    /**
+     * Register a client (a segment manager). @p reclaim is invoked by
+     * the market patrol to force the return of @p frames when the
+     * client can no longer pay.
+     */
+    ClientId
+    registerClient(std::string name, kernel::UserId uid,
+                   double income_rate,
+                   std::function<sim::Task<>(std::uint64_t frames)>
+                       reclaim = {});
+
+    /**
+     * Allocate up to slots.size() frames into the given empty pages of
+     * @p dst_seg (one frame per slot, filled in order). Returns the
+     * number granted: limited by free frames, the constraint, and —
+     * with the market on — what the client can afford. Frames last
+     * used by a different user are zero-filled on grant.
+     */
+    sim::Task<std::uint64_t>
+    requestPages(ClientId c, kernel::SegmentId dst_seg,
+                 std::vector<kernel::PageIndex> slots,
+                 Constraint constraint = {});
+
+    /** Return frames from @p slots of @p src_seg to the global pool. */
+    sim::Task<std::uint64_t>
+    returnPages(ClientId c, kernel::SegmentId src_seg,
+                std::vector<kernel::PageIndex> slots);
+
+    /**
+     * Zero-simulated-time grant for benchmark setup: same frame
+     * selection, zero-fill policy and accounting as requestPages, but
+     * no affordability check and no time charged.
+     */
+    std::uint64_t
+    grantNow(ClientId c, kernel::SegmentId dst_seg,
+             const std::vector<kernel::PageIndex> &slots,
+             Constraint constraint = {});
+
+    /** Record I/O traffic against a client's account. */
+    void noteIo(ClientId c, std::uint64_t bytes);
+
+    struct MemoryInfo
+    {
+        std::uint64_t freeFrames = 0;
+        std::uint64_t totalFrames = 0;
+        bool contended = false;
+        double balance = 0.0;
+        double incomeRate = 0.0;
+        std::uint64_t affordableBytes = 0;
+    };
+
+    /** Paper: "By queries to the SPCM, it can determine the demand". */
+    sim::Task<MemoryInfo> query(ClientId c);
+
+    /**
+     * Market patrol pass: settle all accounts and force clients with
+     * negative balances to shed unaffordable holdings.
+     */
+    sim::Task<> patrol();
+
+    /** Spawn a periodic patrol every @p interval. */
+    void startPatrol(sim::Duration interval);
+    void stopPatrol() { patrolRunning_ = false; }
+
+    std::uint64_t freeFrames() const;
+    bool marketEnabled() const { return market_.has_value(); }
+    MemoryMarket &market() { return *market_; }
+    DramAccount &account(ClientId c) { return clients_.at(c).account; }
+
+    /** Grant a client free drams (administrative top-up). */
+    void
+    deposit(ClientId c, double drams)
+    {
+        clients_.at(c).account.balance += drams;
+    }
+
+    std::uint64_t grantsServed() const { return grants_; }
+    std::uint64_t framesGranted() const { return framesGranted_; }
+    std::uint64_t framesReturned() const { return framesReturned_; }
+
+  private:
+    struct Client
+    {
+        DramAccount account;
+        std::function<sim::Task<>(std::uint64_t)> reclaim;
+    };
+
+    bool contended() const;
+    bool frameMatches(hw::FrameId f, const Constraint &c) const;
+    std::vector<hw::FrameId> pickFrames(std::uint64_t n,
+                                        const Constraint &c) const;
+
+    kernel::Kernel *kern_;
+    ipc::CallCost ipcCost_;
+    /// The SPCM is a single server process: one request at a time.
+    /// (Grant decisions span awaits; without serialisation two
+    /// concurrent requests could select the same frames.)
+    sim::SimMutex serial_;
+    std::optional<MemoryMarket> market_;
+    std::vector<Client> clients_;
+    std::uint64_t grants_ = 0;
+    std::uint64_t framesGranted_ = 0;
+    std::uint64_t framesReturned_ = 0;
+    std::uint64_t pendingDemand_ = 0; ///< unmet frames (contention signal)
+    bool patrolRunning_ = false;
+};
+
+} // namespace vpp::mgr
+
+#endif // VPP_MANAGERS_SPCM_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * xoshiro256++ seeded via splitmix64. Self-contained (no <random>
+ * engines) so that streams are reproducible across standard libraries,
+ * which keeps benchmark tables stable.
+ */
+
+#ifndef VPP_SIM_RANDOM_H
+#define VPP_SIM_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace vpp::sim {
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Raw 64 random bits (xoshiro256++). */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) +
+                                     state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        assert(n > 0);
+        // Lemire's bounded-range rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            std::uint64_t t = -n % n;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponential with mean @p mean (Poisson inter-arrival times). */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Normal via Box-Muller. */
+    double
+    normal(double mu, double sigma)
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        return mu + sigma * std::sqrt(-2.0 * std::log(u1)) *
+                        std::cos(2.0 * M_PI * u2);
+    }
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, used for
+     * skewed database page access. Inverse-CDF over a precomputed
+     * table is the caller's job for hot paths; this is the simple
+     * rejection-free cumulative method for moderate n.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        // Approximate inverse-CDF sampling (Gray et al. style).
+        double zetan = zeta(n, s);
+        double u = uniform();
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i), s);
+            if (sum / zetan >= u)
+                return i - 1;
+        }
+        return n - 1;
+    }
+
+    /** Pick a uniformly random element index of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[below(v.size())];
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double s)
+    {
+        double z = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            z += 1.0 / std::pow(static_cast<double>(i), s);
+        return z;
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_RANDOM_H

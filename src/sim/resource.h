@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Processor resources for multi-CPU simulations.
+ *
+ * The database study (paper §3.3) runs on 6 processors of an SGI 4D/380.
+ * A CpuPool models N identical CPUs: a simulated process acquires a CPU,
+ * charges compute time against it, and releases it whenever it blocks
+ * (I/O, lock wait, page fault).
+ */
+
+#ifndef VPP_SIM_RESOURCE_H
+#define VPP_SIM_RESOURCE_H
+
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace vpp::sim {
+
+class CpuPool
+{
+  public:
+    CpuPool(Simulation &sim, int ncpus)
+        : sim_(&sim), sem_(sim, ncpus), ncpus_(ncpus)
+    {}
+
+    /** Wait for a free CPU. Pair with release(). */
+    Task<>
+    acquire()
+    {
+        SimTime t0 = sim_->now();
+        co_await sem_.acquire();
+        waitTime_ += sim_->now() - t0;
+        ++acquisitions_;
+    }
+
+    void release() { sem_.release(); }
+
+    /** Charge @p d of compute time on the CPU currently held. */
+    Task<>
+    compute(Duration d)
+    {
+        busyTime_ += d;
+        co_await sim_->delay(d);
+    }
+
+    int ncpus() const { return ncpus_; }
+    int idle() const { return sem_.available(); }
+    std::int64_t queued() const { return sem_.waiting(); }
+
+    /** Aggregate busy time across all CPUs. */
+    Duration busyTime() const { return busyTime_; }
+
+    /** Total time processes spent waiting for a CPU. */
+    Duration waitTime() const { return waitTime_; }
+
+    std::uint64_t acquisitions() const { return acquisitions_; }
+
+    /** Mean utilisation over [0, now] across the pool. */
+    double
+    utilization() const
+    {
+        SimTime t = sim_->now();
+        if (t <= 0)
+            return 0.0;
+        return static_cast<double>(busyTime_) /
+               (static_cast<double>(t) * ncpus_);
+    }
+
+  private:
+    Simulation *sim_;
+    Semaphore sem_;
+    int ncpus_;
+    Duration busyTime_ = 0;
+    Duration waitTime_ = 0;
+    std::uint64_t acquisitions_ = 0;
+};
+
+/** RAII helper: holds a CPU from the pool for a coroutine scope. */
+class CpuGuard
+{
+  public:
+    explicit CpuGuard(CpuPool &pool) : pool_(&pool) {}
+
+    CpuGuard(const CpuGuard &) = delete;
+    CpuGuard &operator=(const CpuGuard &) = delete;
+
+    ~CpuGuard()
+    {
+        if (held_)
+            pool_->release();
+    }
+
+    Task<>
+    acquire()
+    {
+        co_await pool_->acquire();
+        held_ = true;
+    }
+
+    /** Release the CPU early (e.g. before blocking on a lock). */
+    void
+    release()
+    {
+        if (held_) {
+            pool_->release();
+            held_ = false;
+        }
+    }
+
+    bool held() const { return held_; }
+
+  private:
+    CpuPool *pool_;
+    bool held_ = false;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_RESOURCE_H

@@ -1,0 +1,89 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace vpp::sim {
+
+namespace {
+
+/**
+ * Self-destructing coroutine used to own a detached root task. Its frame
+ * is released automatically when the wrapped task finishes.
+ */
+struct Detached
+{
+    struct promise_type
+    {
+        Detached get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() noexcept { std::terminate(); }
+    };
+};
+
+Detached
+runRoot(Simulation *sim, Task<> inner, int *live,
+        std::vector<std::exception_ptr> *errors)
+{
+    (void)sim;
+    ++*live;
+    try {
+        co_await std::move(inner);
+    } catch (...) {
+        errors->push_back(std::current_exception());
+    }
+    --*live;
+}
+
+} // namespace
+
+void
+Simulation::spawn(Task<> t)
+{
+    runRoot(this, std::move(t), &liveTasks_, &errors_);
+}
+
+void
+Simulation::rethrowPending()
+{
+    if (!errors_.empty()) {
+        auto e = errors_.front();
+        errors_.clear();
+        std::rethrow_exception(e);
+    }
+}
+
+SimTime
+Simulation::run()
+{
+    rethrowPending();
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++eventsRun_;
+        ev.fn();
+        rethrowPending();
+    }
+    return now_;
+}
+
+SimTime
+Simulation::runUntil(SimTime deadline)
+{
+    rethrowPending();
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++eventsRun_;
+        ev.fn();
+        rethrowPending();
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+} // namespace vpp::sim

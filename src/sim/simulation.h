@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The Simulation owns the virtual clock and a time-ordered event queue.
+ * Simulated processes are coroutines (Task<T>) spawned onto the engine;
+ * they advance time with `co_await sim.delay(d)` and communicate through
+ * futures, semaphores and channels (sync.h). Events at the same
+ * timestamp run in FIFO order, making every run deterministic.
+ */
+
+#ifndef VPP_SIM_SIMULATION_H
+#define VPP_SIM_SIMULATION_H
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace vpp::sim {
+
+/** Thrown when a simulation invariant is violated (an engine bug). */
+class SimPanic : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback to run at absolute time @p when. */
+    void
+    schedule(SimTime when, std::function<void()> fn)
+    {
+        if (when < now_)
+            throw SimPanic("schedule() into the past");
+        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule a callback @p after from now. */
+    void
+    scheduleAfter(Duration after, std::function<void()> fn)
+    {
+        schedule(now_ + after, std::move(fn));
+    }
+
+    /** Awaitable that suspends the coroutine for @p d simulated time. */
+    auto
+    delay(Duration d)
+    {
+        struct Awaiter
+        {
+            bool await_ready() const noexcept { return dur <= 0; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sim->schedule(sim->now_ + dur, [h] { h.resume(); });
+            }
+
+            void await_resume() const noexcept {}
+
+            Simulation *sim;
+            Duration dur;
+        };
+        return Awaiter{this, d};
+    }
+
+    /**
+     * Awaitable that reschedules the coroutine at the current time,
+     * behind everything already queued for this instant. Used to yield
+     * to same-timestamp peers deterministically.
+     */
+    auto yield() { return YieldAwaiter{this}; }
+
+    /**
+     * Start a coroutine as a detached root process. It begins running
+     * immediately (until its first suspension); errors escaping it are
+     * recorded and rethrown from run().
+     */
+    void spawn(Task<> t);
+
+    /** Run until the event queue is empty. Returns final time. */
+    SimTime run();
+
+    /**
+     * Run until simulated time reaches @p deadline (events at exactly
+     * @p deadline are executed) or the queue empties, whichever first.
+     */
+    SimTime runUntil(SimTime deadline);
+
+    /** Number of spawned root tasks that have not yet finished. */
+    int liveTasks() const { return liveTasks_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+    struct YieldAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim->schedule(sim->now_, [h] { h.resume(); });
+        }
+
+        void await_resume() const noexcept {}
+
+        Simulation *sim;
+    };
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct EventLater
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    friend struct RootTracker;
+
+    void rethrowPending();
+
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t eventsRun_ = 0;
+    int liveTasks_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+    std::vector<std::exception_ptr> errors_;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_SIMULATION_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Measurement helpers: sample statistics and percentile tracking.
+ *
+ * Benchmarks report the same aggregates the paper does: means (Table 1,
+ * Table 2), counts (Table 3) and average/worst-case response times
+ * (Table 4).
+ */
+
+#ifndef VPP_SIM_STATS_H
+#define VPP_SIM_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vpp::sim {
+
+/** Running mean/min/max/stddev over double-valued samples. */
+class SampleStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        sumsq_ += x * x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        double m = mean();
+        double var = (sumsq_ - n_ * m * m) / (n_ - 1);
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = SampleStats();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Stores all samples to answer percentile queries exactly. Response-time
+ * distributions in the study are small enough (tens of thousands of
+ * transactions) that this is the right tool.
+ */
+class Distribution
+{
+  public:
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        stats_.add(x);
+        sorted_ = false;
+    }
+
+    std::uint64_t count() const { return stats_.count(); }
+    double mean() const { return stats_.mean(); }
+    double min() const { return stats_.min(); }
+    double max() const { return stats_.max(); }
+    double stddev() const { return stats_.stddev(); }
+
+    /** Exact p-quantile, p in [0, 1]. */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+        double idx = p * (samples_.size() - 1);
+        std::size_t lo = static_cast<std::size_t>(idx);
+        std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+        double frac = idx - lo;
+        return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    }
+
+    const std::vector<double> &
+    samples() const
+    {
+        return samples_;
+    }
+
+    void
+    reset()
+    {
+        samples_.clear();
+        stats_.reset();
+        sorted_ = false;
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    SampleStats stats_;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_STATS_H

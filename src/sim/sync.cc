@@ -1,0 +1,44 @@
+#include "sim/sync.h"
+
+namespace vpp::sim {
+
+namespace {
+
+Task<>
+runAndCount(Task<> inner, int *remaining, Condition *done,
+            std::exception_ptr *firstError)
+{
+    try {
+        co_await std::move(inner);
+    } catch (...) {
+        if (!*firstError)
+            *firstError = std::current_exception();
+    }
+    if (--*remaining == 0)
+        done->notifyAll();
+}
+
+} // namespace
+
+Task<>
+joinAll(Simulation &sim, std::vector<Task<>> tasks)
+{
+    if (tasks.empty())
+        co_return;
+
+    auto remaining = std::make_unique<int>(static_cast<int>(tasks.size()));
+    auto done = std::make_unique<Condition>(sim);
+    auto first_error = std::make_unique<std::exception_ptr>();
+
+    for (auto &t : tasks) {
+        sim.spawn(
+            runAndCount(std::move(t), remaining.get(), done.get(),
+                        first_error.get()));
+    }
+    while (*remaining > 0)
+        co_await done->wait();
+    if (*first_error)
+        std::rethrow_exception(*first_error);
+}
+
+} // namespace vpp::sim

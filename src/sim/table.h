@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses to emit
+ * paper-style tables (rows of labelled measurements).
+ */
+
+#ifndef VPP_SIM_TABLE_H
+#define VPP_SIM_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vpp::sim {
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        cells.resize(headers_.size());
+        rows_.push_back(std::move(cells));
+    }
+
+    static std::string
+    num(double v, int precision = 0)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    void
+    print(FILE *out = stdout) const
+    {
+        std::vector<std::size_t> w(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            w[c] = headers_[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0; c < r.size(); ++c)
+                w[c] = std::max(w[c], r[c].size());
+
+        auto rule = [&] {
+            for (std::size_t c = 0; c < w.size(); ++c) {
+                std::fputc('+', out);
+                for (std::size_t i = 0; i < w[c] + 2; ++i)
+                    std::fputc('-', out);
+            }
+            std::fputs("+\n", out);
+        };
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < w.size(); ++c) {
+                std::string cell = c < cells.size() ? cells[c] : "";
+                std::fprintf(out, "| %-*s ", static_cast<int>(w[c]),
+                             cell.c_str());
+            }
+            std::fputs("|\n", out);
+        };
+
+        rule();
+        line(headers_);
+        rule();
+        for (const auto &r : rows_)
+            line(r);
+        rule();
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_TABLE_H

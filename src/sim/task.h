@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Lazy coroutine task type used to express simulated processes.
+ *
+ * A Task<T> is a coroutine that starts suspended and runs when awaited;
+ * completion resumes the awaiter by symmetric transfer. Simulated
+ * processes (applications, segment managers, the file server, database
+ * transactions) are written as ordinary coroutines that co_await delays,
+ * futures and other tasks; the Simulation event loop drives them.
+ */
+
+#ifndef VPP_SIM_TASK_H
+#define VPP_SIM_TASK_H
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace vpp::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** State and behaviour shared by all task promise types. */
+class PromiseBase
+{
+  public:
+    /** Tasks are lazy: they run only once awaited (or detached). */
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    /**
+     * On completion, transfer control back to whoever awaited this
+     * task. If nobody did (yet), stay suspended; the Task destructor
+     * or the awaiter will clean up.
+     */
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            auto &p = *static_cast<PromiseBase *>(basePromise);
+            (void)h;
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+
+        PromiseBase *basePromise;
+    };
+
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning T. Move-only; owns the coroutine
+ * frame until awaited-to-completion or destroyed.
+ */
+template <typename T = void>
+class Task
+{
+  public:
+    class promise_type : public detail::PromiseBase
+    {
+      public:
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        FinalAwaiter
+        final_suspend() noexcept
+        {
+            return FinalAwaiter{this};
+        }
+
+        template <typename U>
+        void
+        return_value(U &&v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+
+        std::optional<T> value;
+    };
+
+    Task() noexcept = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) noexcept
+        : handle_(h)
+    {}
+
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const noexcept { return handle_ != nullptr; }
+    bool done() const noexcept { return handle_ && handle_.done(); }
+
+    /** Awaiting a task starts it and suspends until it completes. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                h.promise().continuation = awaiting;
+                return h;
+            }
+
+            T
+            await_resume()
+            {
+                auto &p = h.promise();
+                if (p.error)
+                    std::rethrow_exception(p.error);
+                assert(p.value.has_value());
+                return std::move(*p.value);
+            }
+
+            std::coroutine_handle<promise_type> h;
+        };
+        return Awaiter{handle_};
+    }
+
+    /** Release ownership of the coroutine frame to the caller. */
+    std::coroutine_handle<promise_type>
+    release() noexcept
+    {
+        return std::exchange(handle_, nullptr);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Specialisation for tasks that return nothing. */
+template <>
+class Task<void>
+{
+  public:
+    class promise_type : public detail::PromiseBase
+    {
+      public:
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        FinalAwaiter
+        final_suspend() noexcept
+        {
+            return FinalAwaiter{this};
+        }
+
+        void return_void() noexcept {}
+    };
+
+    Task() noexcept = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) noexcept
+        : handle_(h)
+    {}
+
+    Task(Task &&o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task &
+    operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const noexcept { return handle_ != nullptr; }
+    bool done() const noexcept { return handle_ && handle_.done(); }
+
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> awaiting) noexcept
+            {
+                h.promise().continuation = awaiting;
+                return h;
+            }
+
+            void
+            await_resume()
+            {
+                auto &p = h.promise();
+                if (p.error)
+                    std::rethrow_exception(p.error);
+            }
+
+            std::coroutine_handle<promise_type> h;
+        };
+        return Awaiter{handle_};
+    }
+
+    std::coroutine_handle<promise_type>
+    release() noexcept
+    {
+        return std::exchange(handle_, nullptr);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_TASK_H

@@ -1,0 +1,75 @@
+#include "uio/block_io.h"
+
+#include <algorithm>
+
+namespace vpp::uio {
+
+using kernel::AccessType;
+using kernel::SegmentId;
+
+sim::Task<std::uint64_t>
+BlockIo::read(kernel::Process &p, FileId f, std::uint64_t offset,
+              std::span<std::byte> out)
+{
+    SegmentId seg = reg_->segmentOf(f);
+    if (seg == kernel::kInvalidSegment)
+        throw kernel::KernelError(kernel::KernelErrc::BadSegment,
+                                  "file not cached");
+    const std::uint64_t size = reg_->sizeOf(f);
+    if (offset >= size)
+        co_return 0;
+    const std::uint64_t want =
+        std::min<std::uint64_t>(out.size(), size - offset);
+    const auto &cost = kern_->config().cost;
+    const std::uint32_t unit = kern_->segment(seg).pageSize();
+
+    std::uint64_t done = 0;
+    while (done < want) {
+        std::uint64_t pos = offset + done;
+        kernel::PageIndex page = pos / unit;
+        std::uint64_t in_page = pos % unit;
+        std::uint64_t n = std::min<std::uint64_t>(unit - in_page,
+                                                  want - done);
+        ++readCalls_;
+        co_await kern_->simulation().delay(cost.syscall + cost.uioLookup);
+        co_await kern_->touchSegment(p, seg, page, AccessType::Read);
+        kern_->readPageData(seg, page, in_page, out.subspan(done, n));
+        co_await kern_->chargeCopy(n);
+        done += n;
+    }
+    bytesRead_ += done;
+    co_return done;
+}
+
+sim::Task<std::uint64_t>
+BlockIo::write(kernel::Process &p, FileId f, std::uint64_t offset,
+               std::span<const std::byte> data)
+{
+    SegmentId seg = reg_->segmentOf(f);
+    if (seg == kernel::kInvalidSegment)
+        throw kernel::KernelError(kernel::KernelErrc::BadSegment,
+                                  "file not cached");
+    const auto &cost = kern_->config().cost;
+    const std::uint32_t unit = kern_->segment(seg).pageSize();
+
+    std::uint64_t done = 0;
+    while (done < data.size()) {
+        std::uint64_t pos = offset + done;
+        kernel::PageIndex page = pos / unit;
+        std::uint64_t in_page = pos % unit;
+        std::uint64_t n = std::min<std::uint64_t>(unit - in_page,
+                                                  data.size() - done);
+        ++writeCalls_;
+        co_await kern_->simulation().delay(cost.syscall +
+                                           cost.uioWriteExtra);
+        co_await kern_->touchSegment(p, seg, page, AccessType::Write);
+        kern_->writePageData(seg, page, in_page, data.subspan(done, n));
+        co_await kern_->chargeCopy(n);
+        done += n;
+    }
+    bytesWritten_ += done;
+    reg_->updateSize(f, offset + data.size());
+    co_return done;
+}
+
+} // namespace vpp::uio

@@ -1,0 +1,69 @@
+#include "uio/file_server.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vpp::uio {
+
+FileServer::File &
+FileServer::fileOrThrow(FileId f)
+{
+    auto it = files_.find(f);
+    if (it == files_.end())
+        throw std::out_of_range("no such file: " + std::to_string(f));
+    return it->second;
+}
+
+const FileServer::File &
+FileServer::fileOrThrow(FileId f) const
+{
+    auto it = files_.find(f);
+    if (it == files_.end())
+        throw std::out_of_range("no such file: " + std::to_string(f));
+    return it->second;
+}
+
+void
+FileServer::readNow(FileId f, std::uint64_t offset,
+                    std::span<std::byte> out) const
+{
+    const File &file = fileOrThrow(f);
+    std::size_t done = 0;
+    while (done < out.size()) {
+        std::uint64_t pos = offset + done;
+        std::uint64_t chunk = pos / kChunk * kChunk;
+        std::uint64_t in_chunk = pos - chunk;
+        std::size_t n = std::min<std::size_t>(kChunk - in_chunk,
+                                              out.size() - done);
+        auto it = file.chunks.find(chunk);
+        if (it == file.chunks.end())
+            std::memset(out.data() + done, 0, n);
+        else
+            std::memcpy(out.data() + done, it->second.data() + in_chunk,
+                        n);
+        done += n;
+    }
+}
+
+void
+FileServer::writeNow(FileId f, std::uint64_t offset,
+                     std::span<const std::byte> data)
+{
+    File &file = fileOrThrow(f);
+    std::size_t done = 0;
+    while (done < data.size()) {
+        std::uint64_t pos = offset + done;
+        std::uint64_t chunk = pos / kChunk * kChunk;
+        std::uint64_t in_chunk = pos - chunk;
+        std::size_t n = std::min<std::size_t>(kChunk - in_chunk,
+                                              data.size() - done);
+        auto &buf = file.chunks[chunk];
+        if (buf.empty())
+            buf.resize(kChunk);
+        std::memcpy(buf.data() + in_chunk, data.data() + done, n);
+        done += n;
+    }
+    file.size = std::max(file.size, offset + data.size());
+}
+
+} // namespace vpp::uio

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the database study substrate: multi-granularity locks,
+ * the hierarchical lock manager, and the Table 4 study itself
+ * (ordering invariants and determinism on short runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/kernel.h" // runTask
+#include "db/lock.h"
+#include "db/study.h"
+
+namespace vpp::db {
+namespace {
+
+using kernel::runTask;
+using sim::msec;
+
+// ----------------------------------------------------------------------
+// Lock compatibility (property-style over the full matrix)
+// ----------------------------------------------------------------------
+
+class Compat : public ::testing::TestWithParam<
+                   std::tuple<LockMode, LockMode, bool>>
+{};
+
+TEST_P(Compat, MatrixMatchesTextbook)
+{
+    auto [a, b, expect] = GetParam();
+    EXPECT_EQ(lockCompatible(a, b), expect)
+        << lockModeName(a) << " vs " << lockModeName(b);
+    // Compatibility is symmetric.
+    EXPECT_EQ(lockCompatible(a, b), lockCompatible(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, Compat,
+    ::testing::Values(
+        std::make_tuple(LockMode::IS, LockMode::IS, true),
+        std::make_tuple(LockMode::IS, LockMode::IX, true),
+        std::make_tuple(LockMode::IS, LockMode::S, true),
+        std::make_tuple(LockMode::IS, LockMode::X, false),
+        std::make_tuple(LockMode::IX, LockMode::IX, true),
+        std::make_tuple(LockMode::IX, LockMode::S, false),
+        std::make_tuple(LockMode::IX, LockMode::X, false),
+        std::make_tuple(LockMode::S, LockMode::S, true),
+        std::make_tuple(LockMode::S, LockMode::X, false),
+        std::make_tuple(LockMode::X, LockMode::X, false)));
+
+TEST(MultiModeLock, SharedHoldersCoexist)
+{
+    sim::Simulation s;
+    MultiModeLock l(s);
+    EXPECT_TRUE(l.tryAcquire(LockMode::S));
+    EXPECT_TRUE(l.tryAcquire(LockMode::S));
+    EXPECT_TRUE(l.tryAcquire(LockMode::IS));
+    EXPECT_FALSE(l.tryAcquire(LockMode::X));
+    EXPECT_FALSE(l.tryAcquire(LockMode::IX));
+    l.release(LockMode::S);
+    l.release(LockMode::S);
+    l.release(LockMode::IS);
+    EXPECT_TRUE(l.tryAcquire(LockMode::X));
+}
+
+TEST(MultiModeLock, WriterWakesWhenReadersLeave)
+{
+    sim::Simulation s;
+    MultiModeLock l(s);
+    std::vector<int> order;
+
+    s.spawn([](sim::Simulation &sim, MultiModeLock &lk,
+               std::vector<int> &ord) -> sim::Task<> {
+        co_await lk.acquire(LockMode::S);
+        co_await sim.delay(msec(10));
+        ord.push_back(1);
+        lk.release(LockMode::S);
+    }(s, l, order));
+    s.spawn([](sim::Simulation &sim, MultiModeLock &lk,
+               std::vector<int> &ord) -> sim::Task<> {
+        co_await sim.delay(msec(1));
+        co_await lk.acquire(LockMode::X);
+        ord.push_back(2);
+        lk.release(LockMode::X);
+    }(s, l, order));
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(l.waits(), 1u);
+    EXPECT_EQ(l.waitTime(), msec(9));
+}
+
+TEST(MultiModeLock, FifoPreventsWriterStarvation)
+{
+    sim::Simulation s;
+    MultiModeLock l(s);
+    std::vector<int> order;
+
+    auto reader = [](sim::Simulation &sim, MultiModeLock &lk,
+                     std::vector<int> &ord, sim::Duration at,
+                     int id) -> sim::Task<> {
+        co_await sim.delay(at);
+        co_await lk.acquire(LockMode::S);
+        ord.push_back(id);
+        co_await sim.delay(msec(10));
+        lk.release(LockMode::S);
+    };
+    auto writer = [](sim::Simulation &sim, MultiModeLock &lk,
+                     std::vector<int> &ord, sim::Duration at,
+                     int id) -> sim::Task<> {
+        co_await sim.delay(at);
+        co_await lk.acquire(LockMode::X);
+        ord.push_back(id);
+        lk.release(LockMode::X);
+    };
+    // Reader at t=0, writer at t=1ms, second reader at t=2ms. Without
+    // FIFO the second reader would jump the writer.
+    s.spawn(reader(s, l, order, 0, 1));
+    s.spawn(writer(s, l, order, msec(1), 2));
+    s.spawn(reader(s, l, order, msec(2), 3));
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MultiModeLock, CompatibleWaitersGrantTogether)
+{
+    sim::Simulation s;
+    MultiModeLock l(s);
+    int concurrent = 0, peak = 0;
+
+    s.spawn([](sim::Simulation &sim, MultiModeLock &lk) -> sim::Task<> {
+        co_await lk.acquire(LockMode::X);
+        co_await sim.delay(msec(5));
+        lk.release(LockMode::X);
+    }(s, l));
+    for (int i = 0; i < 3; ++i) {
+        s.spawn([](sim::Simulation &sim, MultiModeLock &lk, int &cur,
+                   int &pk) -> sim::Task<> {
+            co_await sim.delay(msec(1));
+            co_await lk.acquire(LockMode::S);
+            ++cur;
+            pk = std::max(pk, cur);
+            co_await sim.delay(msec(5));
+            --cur;
+            lk.release(LockMode::S);
+        }(s, l, concurrent, peak));
+    }
+    s.run();
+    // All three queued shared requests were granted as a batch when
+    // the writer left.
+    EXPECT_EQ(peak, 3);
+}
+
+TEST(HierarchicalLock, PageLocksUnderIntention)
+{
+    sim::Simulation s;
+    HierarchicalLockManager locks(s, 4);
+    runTask(s, [](HierarchicalLockManager &lk) -> sim::Task<> {
+        co_await lk.lockRelation(0, LockMode::IX);
+        co_await lk.lockPage(0, 10, LockMode::X);
+        // A second transaction can work on another page of the same
+        // relation concurrently.
+        co_await lk.lockRelation(0, LockMode::IX);
+        co_await lk.lockPage(0, 11, LockMode::X);
+        lk.unlockPage(0, 11, LockMode::X);
+        lk.unlockRelation(0, LockMode::IX);
+        lk.unlockPage(0, 10, LockMode::X);
+        lk.unlockRelation(0, LockMode::IX);
+    }(locks));
+    // Relation-level S blocks intention writers.
+    EXPECT_TRUE(locks.relation(1).tryAcquire(LockMode::S));
+    EXPECT_FALSE(locks.relation(1).tryAcquire(LockMode::IX));
+}
+
+TEST(HierarchicalLock, OrderedAcquisitionAvoidsDeadlock)
+{
+    // Two transactions that would deadlock if they acquired their
+    // relations in opposite orders; with the canonical ascending-id
+    // protocol both complete.
+    sim::Simulation s;
+    HierarchicalLockManager locks(s, 4);
+    int completed = 0;
+
+    auto txn = [](sim::Simulation &sim, HierarchicalLockManager &lk,
+                  int first, int second, int *done) -> sim::Task<> {
+        int lo = std::min(first, second);
+        int hi = std::max(first, second);
+        co_await lk.lockRelation(lo, LockMode::X);
+        co_await sim.delay(msec(5)); // guarantee interleaving
+        co_await lk.lockRelation(hi, LockMode::X);
+        co_await sim.delay(msec(5));
+        lk.unlockRelation(hi, LockMode::X);
+        lk.unlockRelation(lo, LockMode::X);
+        ++*done;
+    };
+    // Transaction A wants (1 then 2), transaction B wants (2 then 1).
+    s.spawn(txn(s, locks, 1, 2, &completed));
+    s.spawn(txn(s, locks, 2, 1, &completed));
+    s.run();
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(locks.relation(1).waiting(), 0);
+    EXPECT_EQ(locks.relation(2).waiting(), 0);
+}
+
+TEST(MultiModeLock, WaitTimeAccounting)
+{
+    sim::Simulation s;
+    MultiModeLock l(s);
+    s.spawn([](sim::Simulation &sim, MultiModeLock &lk) -> sim::Task<> {
+        co_await lk.acquire(LockMode::X);
+        co_await sim.delay(msec(20));
+        lk.release(LockMode::X);
+    }(s, l));
+    s.spawn([](sim::Simulation &sim, MultiModeLock &lk) -> sim::Task<> {
+        co_await sim.delay(msec(5));
+        co_await lk.acquire(LockMode::S);
+        lk.release(LockMode::S);
+    }(s, l));
+    s.run();
+    EXPECT_EQ(l.waits(), 1u);
+    EXPECT_EQ(l.waitTime(), msec(15));
+}
+
+// ----------------------------------------------------------------------
+// The Table 4 study (short runs)
+// ----------------------------------------------------------------------
+
+DbParams
+quickParams(std::uint64_t seed = 42)
+{
+    DbParams p;
+    p.durationSec = 60.0;
+    p.seed = seed;
+    return p;
+}
+
+TEST(DbStudy, CompletesAllArrivals)
+{
+    DbResult r = runDbStudy(DbConfig::IndexInMemory, quickParams());
+    // 40 TPS for 60 s: about 2400 transactions, all completed.
+    EXPECT_GT(r.txns, 2200u);
+    EXPECT_LT(r.txns, 2600u);
+    EXPECT_NEAR(static_cast<double>(r.joins) / r.txns, 0.05, 0.02);
+}
+
+TEST(DbStudy, DeterministicForSameSeed)
+{
+    DbResult a = runDbStudy(DbConfig::IndexWithPaging, quickParams(7));
+    DbResult b = runDbStudy(DbConfig::IndexWithPaging, quickParams(7));
+    EXPECT_EQ(a.txns, b.txns);
+    EXPECT_DOUBLE_EQ(a.avgMs, b.avgMs);
+    EXPECT_DOUBLE_EQ(a.worstMs, b.worstMs);
+}
+
+TEST(DbStudy, Table4OrderingInvariants)
+{
+    DbParams p = quickParams();
+    DbResult none = runDbStudy(DbConfig::NoIndex, p);
+    DbResult mem = runDbStudy(DbConfig::IndexInMemory, p);
+    DbResult page = runDbStudy(DbConfig::IndexWithPaging, p);
+    DbResult regen = runDbStudy(DbConfig::IndexRegeneration, p);
+
+    // The paper's qualitative claims:
+    // indices help enormously when memory is available,
+    EXPECT_GT(none.avgMs, 10 * mem.avgMs);
+    // a little paging destroys most of the benefit,
+    EXPECT_GT(page.avgMs, 5 * mem.avgMs);
+    EXPECT_LT(page.avgMs, none.avgMs);
+    // and regeneration recovers nearly all of it.
+    EXPECT_LT(regen.avgMs, 2 * mem.avgMs);
+    EXPECT_LT(regen.avgMs, page.avgMs / 5);
+    EXPECT_GE(regen.avgMs, mem.avgMs);
+    // Worst cases: paging and no-index are the catastrophic tails.
+    EXPECT_GT(page.worstMs, 4 * regen.worstMs);
+    EXPECT_GT(none.worstMs, mem.worstMs);
+}
+
+TEST(DbStudy, PagingFaultsAndRegenRebuildCounts)
+{
+    DbParams p = quickParams();
+    DbResult page = runDbStudy(DbConfig::IndexWithPaging, p);
+    DbResult regen = runDbStudy(DbConfig::IndexRegeneration, p);
+    DbResult mem = runDbStudy(DbConfig::IndexInMemory, p);
+
+    // ~2400 arrivals / 500 per eviction = ~4 evictions.
+    EXPECT_GE(page.indexEvictions, 3u);
+    EXPECT_EQ(page.indexPageFaults,
+              page.indexEvictions * p.indexPages);
+    EXPECT_EQ(page.indexRebuilds, 0u);
+
+    EXPECT_EQ(regen.indexPageFaults, 0u);
+    EXPECT_EQ(regen.indexRebuilds, regen.indexEvictions);
+
+    EXPECT_EQ(mem.indexEvictions, 0u);
+    EXPECT_EQ(mem.indexPageFaults, 0u);
+}
+
+TEST(DbStudy, NoIndexSaturatesCpus)
+{
+    DbParams p = quickParams();
+    DbResult none = runDbStudy(DbConfig::NoIndex, p);
+    DbResult mem = runDbStudy(DbConfig::IndexInMemory, p);
+    EXPECT_GT(none.cpuUtilization, 0.7);
+    EXPECT_LT(mem.cpuUtilization, 0.5);
+}
+
+class DbSeeds : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DbSeeds, OrderingHoldsAcrossSeeds)
+{
+    DbParams p = quickParams(GetParam());
+    DbResult mem = runDbStudy(DbConfig::IndexInMemory, p);
+    DbResult page = runDbStudy(DbConfig::IndexWithPaging, p);
+    DbResult regen = runDbStudy(DbConfig::IndexRegeneration, p);
+    EXPECT_GT(page.avgMs, 5 * mem.avgMs);
+    EXPECT_LT(regen.avgMs, 2 * mem.avgMs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbSeeds,
+                         ::testing::Values(1, 17, 99, 2024));
+
+} // namespace
+} // namespace vpp::db

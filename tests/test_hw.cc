@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the machine model: physical memory, disk, cache and
+ * TLB models, and the calibrated cost presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hw/cache_model.h"
+#include "hw/config.h"
+#include "hw/disk.h"
+#include "hw/physmem.h"
+#include "hw/tlb.h"
+#include "core/kernel.h"
+
+namespace vpp::hw {
+namespace {
+
+using sim::usec;
+
+TEST(MachineConfig, DecstationPreset)
+{
+    MachineConfig m = decstation5000_200();
+    EXPECT_EQ(m.pageSize, 4096u);
+    EXPECT_EQ(m.memoryBytes, 128ull << 20);
+    EXPECT_EQ(m.frames(), (128ull << 20) / 4096);
+    EXPECT_FALSE(m.resumeThroughKernel);
+    // Zeroing one 4 KB page costs 75 us (paper §3.1).
+    EXPECT_EQ(m.cost.pageZeroPerKB * 4, usec(75));
+}
+
+TEST(MachineConfig, InstructionsToTime)
+{
+    MachineConfig m = decstation5000_200();
+    // 20 MIPS: 20 million instructions take one second.
+    EXPECT_EQ(m.instructions(20e6), sim::sec(1));
+    EXPECT_EQ(m.instructions(20.0), usec(1));
+}
+
+TEST(MachineConfig, Sgi4d380Preset)
+{
+    MachineConfig m = sgi4d380();
+    EXPECT_EQ(m.ncpus, 8);
+    EXPECT_DOUBLE_EQ(m.mips, 30.0);
+}
+
+TEST(PhysicalMemory, GeometryAndLazyAllocation)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    EXPECT_EQ(pm.numFrames(), 256u);
+    EXPECT_EQ(pm.frameSize(), 4096u);
+    EXPECT_EQ(pm.allocatedDataBytes(), 0u);
+    EXPECT_FALSE(pm.hasData(3));
+    EXPECT_EQ(pm.peek(3), nullptr);
+
+    std::byte *d = pm.data(3);
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(pm.hasData(3));
+    EXPECT_EQ(pm.allocatedDataBytes(), 4096u);
+    // Fresh frames read as zero.
+    for (int i = 0; i < 4096; ++i)
+        EXPECT_EQ(d[i], std::byte{0});
+}
+
+TEST(PhysicalMemory, PhysicalAddresses)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    EXPECT_EQ(pm.physAddr(0), 0u);
+    EXPECT_EQ(pm.physAddr(10), 10u * 4096);
+    EXPECT_EQ(pm.frameOf(10 * 4096 + 17), 10u);
+}
+
+TEST(PhysicalMemory, CopyAndZero)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    std::memset(pm.data(1), 0xAB, 4096);
+    pm.copyFrame(2, 1);
+    EXPECT_EQ(pm.data(2)[100], std::byte{0xAB});
+    pm.zero(2);
+    EXPECT_FALSE(pm.hasData(2));
+    // Copy from a never-written frame zeroes the destination.
+    pm.copyFrame(1, 5);
+    EXPECT_EQ(pm.data(1)[100], std::byte{0});
+}
+
+TEST(PhysicalMemory, BadGeometryRejected)
+{
+    EXPECT_THROW(PhysicalMemory(1 << 20, 3000), std::invalid_argument);
+    EXPECT_THROW(PhysicalMemory((1 << 20) + 1, 4096),
+                 std::invalid_argument);
+    PhysicalMemory pm(1 << 20, 4096);
+    EXPECT_THROW(pm.data(256), std::out_of_range);
+}
+
+TEST(Disk, LatencyPlusBandwidth)
+{
+    sim::Simulation s;
+    Disk d(s, sim::msec(16), 2.0);
+    // 4 KB at 2 MB/s is 2.048 ms of transfer on top of 16 ms.
+    EXPECT_EQ(d.transferTime(4096), sim::msec(16) + sim::usec(2048));
+    kernel::runTask(s, [](Disk &disk) -> sim::Task<> {
+        co_await disk.read(4096);
+        co_await disk.write(8192);
+    }(d));
+    EXPECT_EQ(d.reads(), 1u);
+    EXPECT_EQ(d.writes(), 1u);
+    EXPECT_EQ(d.bytesRead(), 4096u);
+    EXPECT_EQ(d.bytesWritten(), 8192u);
+}
+
+TEST(Disk, RequestsSerialize)
+{
+    sim::Simulation s;
+    Disk d(s, sim::msec(10), 1000.0); // transfer time negligible
+    for (int i = 0; i < 4; ++i) {
+        s.spawn([](Disk &disk) -> sim::Task<> {
+            co_await disk.read(512);
+        }(d));
+    }
+    s.run();
+    // Four serialized requests take at least 4 x 10 ms.
+    EXPECT_GE(s.now(), sim::msec(40));
+}
+
+TEST(CacheModel, DirectMappedConflicts)
+{
+    // 64 KB direct-mapped cache, 16 B lines, 4 KB pages -> 16 colors.
+    CacheModel c(64 << 10, 16, 1, 4096);
+    EXPECT_EQ(c.numColors(), 16u);
+
+    // Two pages with the same color conflict on every alternating
+    // access; two pages with different colors do not.
+    PhysAddr a = 0;                  // color 0
+    PhysAddr b = 16 * 4096;          // also color 0
+    c.access(a);
+    c.access(b);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(c.access(a)); // b evicted a
+        EXPECT_FALSE(c.access(b));
+    }
+    c.reset();
+    PhysAddr d = 4096; // color 1
+    c.access(a);
+    c.access(d);
+    std::uint64_t misses_before = c.misses();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(c.access(a));
+        EXPECT_TRUE(c.access(d));
+    }
+    EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST(CacheModel, AssociativityAbsorbsConflicts)
+{
+    // Same geometry but 2-way: two same-index pages coexist.
+    CacheModel c(64 << 10, 16, 2, 4096);
+    PhysAddr a = 0;
+    PhysAddr b = 8 * 4096; // same set index in a 2-way 64 KB cache
+    c.access(a);
+    c.access(b);
+    EXPECT_TRUE(c.access(a));
+    EXPECT_TRUE(c.access(b));
+}
+
+TEST(CacheModel, ColorOf)
+{
+    CacheModel c(64 << 10, 16, 1, 4096);
+    EXPECT_EQ(c.colorOf(0), 0u);
+    EXPECT_EQ(c.colorOf(4096), 1u);
+    EXPECT_EQ(c.colorOf(15 * 4096), 15u);
+    EXPECT_EQ(c.colorOf(16 * 4096), 0u);
+}
+
+TEST(Tlb, HitsAndMisses)
+{
+    Tlb t(4);
+    EXPECT_FALSE(t.access(1, 100)); // cold miss
+    EXPECT_TRUE(t.access(1, 100));
+    EXPECT_FALSE(t.access(2, 100)); // different asid
+    t.invalidate(1, 100);
+    EXPECT_FALSE(t.access(1, 100));
+    EXPECT_EQ(t.misses(), 3u);
+    EXPECT_EQ(t.hits(), 1u);
+}
+
+TEST(Tlb, AsidInvalidation)
+{
+    Tlb t(8);
+    t.access(1, 1);
+    t.access(1, 2);
+    t.access(2, 3);
+    t.invalidateAsid(1);
+    EXPECT_FALSE(t.access(1, 1));
+    EXPECT_FALSE(t.access(1, 2));
+    EXPECT_TRUE(t.access(2, 3));
+}
+
+} // namespace
+} // namespace vpp::hw

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Whole-stack integration tests: the §2.2 swapping protocol, manager
+ * self-residency, multiprogramming under memory pressure with the
+ * clock and the market, multiple page sizes end to end, and a
+ * randomized stress test of the full manager/SPCM/kernel loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/stack.h"
+#include "appmgr/swap_mgr.h"
+#include "core/kernel.h"
+#include "sim/random.h"
+
+namespace vpp {
+namespace {
+
+using kernel::AccessType;
+using kernel::runTask;
+using sim::usec;
+namespace flag = kernel::flag;
+
+// ----------------------------------------------------------------------
+// Swapping protocol (§2.2)
+// ----------------------------------------------------------------------
+
+class SwapTest : public ::testing::Test
+{
+  protected:
+    SwapTest() : stack(machineConfig()) {}
+
+    static hw::MachineConfig
+    machineConfig()
+    {
+        hw::MachineConfig m = hw::decstation5000_200();
+        m.memoryBytes = 32 << 20;
+        return m;
+    }
+
+    apps::VppStack stack;
+};
+
+TEST_F(SwapTest, RoundTripPreservesData)
+{
+    uio::FileId swap = stack.server.createFile("swap", 0);
+    appmgr::SwappableAppManager mgr(stack.kern, &stack.spcm, 1,
+                                    stack.server, swap, &stack.ucds);
+    mgr.initNow(4096, 256);
+    kernel::Process proc("app", 1);
+
+    kernel::SegmentId data =
+        runTask(stack.sim, mgr.createAppSegment("data", 64));
+    for (kernel::PageIndex p = 0; p < 32; ++p) {
+        runTask(stack.sim, stack.kern.touchSegment(
+                               proc, data, p, AccessType::Write));
+    }
+    std::string payload = "survives the swap";
+    stack.kern.writePageData(
+        data, 7, 100,
+        std::as_bytes(std::span(payload.data(), payload.size())));
+
+    std::uint64_t spcm_free0 = stack.spcm.freeFrames();
+    runTask(stack.sim, mgr.swapOut(proc));
+    EXPECT_TRUE(mgr.swappedOut());
+    EXPECT_EQ(stack.kern.segment(data).presentPages(), 0u);
+    EXPECT_GT(stack.spcm.freeFrames(), spcm_free0); // frames returned
+    EXPECT_GT(mgr.pagesSwapped(), 0u);
+    EXPECT_GT(stack.disk.writes(), 0u); // dirty pages hit the disk
+
+    runTask(stack.sim, mgr.swapIn(proc, /*eager=*/false));
+    EXPECT_FALSE(mgr.swappedOut());
+
+    // Lazy reload: the touch faults and restores from swap.
+    runTask(stack.sim, stack.kern.touchSegment(proc, data, 7,
+                                               AccessType::Read));
+    char buf[32] = {};
+    stack.kern.readPageData(
+        data, 7, 100,
+        std::as_writable_bytes(std::span(buf, payload.size())));
+    EXPECT_EQ(std::string(buf), payload);
+    EXPECT_GT(mgr.pagesRestored(), 0u);
+
+    std::string why;
+    EXPECT_TRUE(stack.kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST_F(SwapTest, EagerSwapInRestoresEverything)
+{
+    uio::FileId swap = stack.server.createFile("swap", 0);
+    appmgr::SwappableAppManager mgr(stack.kern, &stack.spcm, 1,
+                                    stack.server, swap, &stack.ucds);
+    mgr.initNow(4096, 256);
+    kernel::Process proc("app", 1);
+    kernel::SegmentId data =
+        runTask(stack.sim, mgr.createAppSegment("data", 16));
+    for (kernel::PageIndex p = 0; p < 16; ++p) {
+        runTask(stack.sim, stack.kern.touchSegment(
+                               proc, data, p, AccessType::Write));
+    }
+    runTask(stack.sim, mgr.swapOut(proc));
+    runTask(stack.sim, mgr.swapIn(proc, /*eager=*/true));
+    EXPECT_EQ(mgr.pagesRestored(), 16u);
+    EXPECT_EQ(stack.kern.segment(data).presentPages(), 16u);
+}
+
+TEST_F(SwapTest, SelfManagementProtocolPinsManagerPages)
+{
+    uio::FileId swap = stack.server.createFile("swap", 0);
+    appmgr::SwappableAppManager mgr(stack.kern, &stack.spcm, 1,
+                                    stack.server, swap, &stack.ucds);
+    mgr.initNow(4096, 256);
+    kernel::Process proc("app", 1);
+
+    // The manager's own code+data: a segment initially under the
+    // default manager.
+    kernel::SegmentId self = runTask(
+        stack.sim, stack.ucds.createAnonymous("mgr-self", 8, 1));
+    int attempts = runTask(
+        stack.sim, mgr.assumeSelfManagement(proc, self, 8));
+    EXPECT_GE(attempts, 1);
+    EXPECT_EQ(stack.kern.segment(self).manager(), &mgr);
+    for (kernel::PageIndex p = 0; p < 8; ++p) {
+        const kernel::PageEntry *e =
+            stack.kern.segment(self).findPage(p);
+        ASSERT_NE(e, nullptr);
+        EXPECT_TRUE(e->flags & flag::kPinned);
+    }
+
+    // After swap-out the self segment belongs to the default manager
+    // again, unpinned.
+    runTask(stack.sim, mgr.swapOut(proc));
+    EXPECT_EQ(stack.kern.segment(self).manager(), &stack.ucds);
+
+    // Resumption re-runs the protocol and re-pins.
+    runTask(stack.sim, mgr.swapIn(proc));
+    EXPECT_EQ(stack.kern.segment(self).manager(), &mgr);
+}
+
+// ----------------------------------------------------------------------
+// Nested fault delivery (§2.2: faults on manager data)
+// ----------------------------------------------------------------------
+
+namespace {
+
+/**
+ * A manager whose fill path reads from a *pageable* lookup table
+ * managed by another manager — handling one fault can therefore raise
+ * a second, nested fault that the other manager must resolve first
+ * (the paper's first option for manager code/data: "managed by
+ * another manager, such as the default segment manager").
+ */
+class NestingManager : public mgr::GenericSegmentManager
+{
+  public:
+    NestingManager(kernel::Kernel &k, mgr::SystemPageCacheManager *spcm,
+                   kernel::Process &self, kernel::SegmentId table)
+        : GenericSegmentManager(k, "nesting-mgr",
+                                hw::ManagerMode::SameProcess, spcm, 1),
+          self_(&self), table_(table)
+    {}
+
+    std::uint64_t nestedTouches = 0;
+
+  protected:
+    sim::Task<>
+    fillPage(kernel::Kernel &k, const kernel::Fault &f,
+             kernel::PageIndex dst_page,
+             kernel::PageIndex free_slot) override
+    {
+        (void)f;
+        (void)free_slot;
+        // Consult the lookup table: may fault to the other manager.
+        co_await k.touchSegment(*self_, table_, dst_page % 4,
+                                kernel::AccessType::Read);
+        ++nestedTouches;
+    }
+
+  private:
+    kernel::Process *self_;
+    kernel::SegmentId table_;
+};
+
+} // namespace
+
+TEST(NestedFaults, ManagerFaultingOnItsOwnDataIsServiced)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    apps::VppStack stack(m);
+    kernel::Process proc("app", 1);
+
+    // The lookup table lives under the default manager and starts
+    // entirely non-resident.
+    kernel::SegmentId table = kernel::runTask(
+        stack.sim, stack.ucds.createAnonymous("lookup", 4, 1));
+
+    NestingManager nm(stack.kern, &stack.spcm, proc, table);
+    nm.initNow(512, 64);
+    kernel::SegmentId data =
+        stack.kern.createSegmentNow("data", 4096, 16, 1, &nm);
+
+    std::uint64_t ucds_calls0 = stack.ucds.calls();
+    for (kernel::PageIndex p = 0; p < 8; ++p) {
+        kernel::runTask(stack.sim,
+                        stack.kern.touchSegment(
+                            proc, data, p, AccessType::Write));
+    }
+    // All eight primary faults resolved...
+    EXPECT_EQ(stack.kern.segment(data).presentPages(), 8u);
+    EXPECT_EQ(nm.nestedTouches, 8u);
+    // ...and the nested faults went to the default manager (4 table
+    // pages, faulted once each).
+    EXPECT_EQ(stack.ucds.calls() - ucds_calls0, 4u);
+    EXPECT_EQ(stack.kern.segment(table).presentPages(), 4u);
+
+    std::string why;
+    EXPECT_TRUE(stack.kern.checkFrameInvariant(&why)) << why;
+}
+
+// ----------------------------------------------------------------------
+// Multiprogramming: two programs, one memory, clock + market
+// ----------------------------------------------------------------------
+
+TEST(Multiprogramming, ClockStealsFromIdleProgramUnderPressure)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 8 << 20; // 2048 frames, deliberately tight
+    apps::StackOptions opts;
+    opts.ucdsPoolCapacity = 4096;
+    opts.ucdsInitialFrames = 1536;
+    apps::VppStack stack(m, opts);
+    kernel::Process pa("hog", 1), pb("newcomer", 2);
+
+    kernel::SegmentId hog = runTask(
+        stack.sim, stack.ucds.createAnonymous("hog", 1400, 1));
+    for (kernel::PageIndex p = 0; p < 1400; ++p) {
+        runTask(stack.sim, stack.kern.touchSegment(
+                               pa, hog, p, AccessType::Write));
+    }
+
+    // Age the hog twice so its pages look cold, then reclaim.
+    runTask(stack.sim, stack.ucds.clockPass(0));
+    std::uint64_t reclaimed =
+        runTask(stack.sim, stack.ucds.clockPass(600));
+    EXPECT_EQ(reclaimed, 600u);
+
+    // The newcomer can now fault its working set in.
+    kernel::SegmentId fresh = runTask(
+        stack.sim, stack.ucds.createAnonymous("fresh", 512, 2));
+    for (kernel::PageIndex p = 0; p < 512; ++p) {
+        runTask(stack.sim, stack.kern.touchSegment(
+                               pb, fresh, p, AccessType::Write));
+    }
+    EXPECT_EQ(stack.kern.segment(fresh).presentPages(), 512u);
+
+    std::string why;
+    EXPECT_TRUE(stack.kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST(Multiprogramming, CrossUserReallocationZeroesFrames)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 8 << 20;
+    apps::VppStack stack(m);
+    kernel::Process pa("alice", 1), pb("bob", 2);
+
+    kernel::SegmentId sa = runTask(
+        stack.sim, stack.ucds.createAnonymous("alice-heap", 8, 1));
+    runTask(stack.sim,
+            stack.kern.touchSegment(pa, sa, 0, AccessType::Write));
+    stack.kern.writePageData(sa, 0, 0,
+                             std::as_bytes(std::span("secret", 6)));
+    // Alice's page is reclaimed and her segment destroyed.
+    runTask(stack.sim, stack.kern.destroySegment(sa));
+    std::uint64_t zeroes0 = stack.kern.stats().zeroFills;
+
+    // Bob's manager hands him frames; any frame last used by alice
+    // must be zeroed somewhere along the way before bob reads it.
+    kernel::SegmentId sb = runTask(
+        stack.sim, stack.ucds.createAnonymous("bob-heap", 64, 2));
+    for (kernel::PageIndex p = 0; p < 64; ++p) {
+        runTask(stack.sim,
+                stack.kern.touchSegment(pb, sb, p, AccessType::Read));
+        char buf[8] = {};
+        stack.kern.readPageData(
+            sb, p, 0, std::as_writable_bytes(std::span(buf, 6)));
+        EXPECT_EQ(std::memcmp(buf, "secret", 6) == 0, false);
+    }
+    (void)zeroes0;
+}
+
+// ----------------------------------------------------------------------
+// Multiple page sizes end to end
+// ----------------------------------------------------------------------
+
+TEST(MultiPageSize, LargePageSegmentBackedBySmallFramePool)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    kernel::Kernel kern(s, m);
+
+    // A 16 KB-page segment (Alpha-style): each page takes 4 aligned
+    // contiguous frames from the physical segment.
+    kernel::SegmentId big =
+        kern.createSegmentNow("big-pages", 16384, 64, 1);
+    for (int i = 0; i < 8; ++i) {
+        kern.migratePagesNow(kernel::kPhysSegment, big,
+                             static_cast<kernel::PageIndex>(i) * 4, i,
+                             4, flag::kProtMask, 0);
+    }
+    EXPECT_EQ(kern.segment(big).presentPages(), 8u);
+
+    // Data written across a 16 KB page round-trips through the
+    // underlying 4 KB frames.
+    std::vector<std::byte> blob(16384);
+    for (std::size_t i = 0; i < blob.size(); ++i)
+        blob[i] = static_cast<std::byte>(i * 7 % 253);
+    kern.writePageData(big, 3, 0, blob);
+    std::vector<std::byte> back(16384);
+    kern.readPageData(big, 3, 0, back);
+    EXPECT_EQ(std::memcmp(back.data(), blob.data(), blob.size()), 0);
+
+    // Split one large page back into 4 KB pages; data follows frames.
+    kernel::SegmentId small =
+        kern.createSegmentNow("small", 4096, 256, 1);
+    EXPECT_EQ(kern.migratePagesNow(big, small, 3, 0, 1, 0, 0), 4u);
+    std::vector<std::byte> quarter(4096);
+    kern.readPageData(small, 1, 0, quarter);
+    EXPECT_EQ(std::memcmp(quarter.data(), blob.data() + 4096, 4096),
+              0);
+
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+// ----------------------------------------------------------------------
+// Randomized whole-stack stress (property test)
+// ----------------------------------------------------------------------
+
+class StackStress : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(StackStress, InvariantsSurviveChaoticWorkload)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    apps::StackOptions opts;
+    opts.ucdsPoolCapacity = 8192;
+    opts.ucdsInitialFrames = 1024;
+    apps::VppStack stack(m, opts);
+    sim::Random rng(GetParam());
+    kernel::Process proc("chaos", 1);
+
+    std::vector<kernel::SegmentId> segs;
+    std::vector<uio::FileId> files;
+    for (int step = 0; step < 400; ++step) {
+        double dice = rng.uniform();
+        try {
+            if (dice < 0.15 && segs.size() < 12) {
+                segs.push_back(runTask(
+                    stack.sim,
+                    stack.ucds.createAnonymous(
+                        "anon" + std::to_string(step),
+                        16 + rng.below(64), 1)));
+            } else if (dice < 0.25 && files.size() < 6) {
+                uio::FileId f = stack.server.createFile(
+                    "f" + std::to_string(step),
+                    4096 * (1 + rng.below(32)));
+                runTask(stack.sim, stack.ucds.openFile(f));
+                files.push_back(f);
+            } else if (dice < 0.65 && !segs.empty()) {
+                kernel::SegmentId seg = segs[rng.below(segs.size())];
+                kernel::PageIndex page = rng.below(
+                    stack.kern.segment(seg).pageLimit());
+                runTask(stack.sim,
+                        stack.kern.touchSegment(
+                            proc, seg, page,
+                            rng.chance(0.5) ? AccessType::Write
+                                            : AccessType::Read));
+            } else if (dice < 0.80 && !files.empty()) {
+                uio::FileId f = files[rng.below(files.size())];
+                std::vector<std::byte> buf(1 + rng.below(9000));
+                std::uint64_t off = rng.below(32) * 1024;
+                if (rng.chance(0.5)) {
+                    runTask(stack.sim,
+                            stack.io.read(proc, f, off, buf));
+                } else {
+                    runTask(stack.sim,
+                            stack.io.write(proc, f, off, buf));
+                }
+            } else if (dice < 0.88) {
+                runTask(stack.sim,
+                        stack.ucds.clockPass(rng.below(64)));
+            } else if (dice < 0.94 && !segs.empty()) {
+                std::size_t i = rng.below(segs.size());
+                runTask(stack.sim,
+                        stack.kern.destroySegment(segs[i]));
+                segs.erase(segs.begin() + i);
+            } else if (!files.empty()) {
+                std::size_t i = rng.below(files.size());
+                runTask(stack.sim, stack.ucds.closeFile(files[i]));
+                files.erase(files.begin() + i);
+            }
+        } catch (const kernel::KernelError &) {
+            // Invalid random operations are fine; state must stay
+            // consistent regardless.
+        }
+        if (step % 50 == 0) {
+            std::string why;
+            ASSERT_TRUE(stack.kern.checkFrameInvariant(&why))
+                << "step " << step << ": " << why;
+        }
+    }
+    std::string why;
+    ASSERT_TRUE(stack.kern.checkFrameInvariant(&why)) << why;
+    // The workload must have exercised real activity.
+    EXPECT_GT(stack.kern.stats().faults, 100u);
+    EXPECT_GT(stack.kern.stats().pagesMigrated, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackStress,
+                         ::testing::Values(11, 23, 47, 89, 179));
+
+} // namespace
+} // namespace vpp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the V-style synchronous message-passing port.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h" // runTask
+#include "ipc/port.h"
+
+namespace vpp::ipc {
+namespace {
+
+using kernel::runTask;
+using sim::usec;
+
+struct Req
+{
+    int x;
+};
+
+struct Resp
+{
+    int y;
+};
+
+TEST(ServerPort, RoundTripDeliversAndCharges)
+{
+    sim::Simulation s;
+    CallCost cost{usec(141), usec(141)}; // as from the DECstation model
+    ServerPort<Req, Resp> port(s, cost);
+
+    // Server: doubles the request after 10 us of work.
+    s.spawn([](sim::Simulation &sim,
+               ServerPort<Req, Resp> &p) -> sim::Task<> {
+        auto pending = co_await p.receive();
+        co_await sim.delay(usec(10));
+        pending.reply.setValue(Resp{pending.request.x * 2});
+    }(s, port));
+
+    int got = 0;
+    sim::SimTime done_at = 0;
+    s.spawn([](sim::Simulation &sim, ServerPort<Req, Resp> &p,
+               int *out, sim::SimTime *at) -> sim::Task<> {
+        Resp r = co_await p.call(Req{21});
+        *out = r.y;
+        *at = sim.now();
+    }(s, port, &got, &done_at));
+    s.run();
+
+    EXPECT_EQ(got, 42);
+    // send + server work + reply.
+    EXPECT_EQ(done_at, usec(141 + 10 + 141));
+    EXPECT_EQ(port.calls(), 1u);
+}
+
+TEST(ServerPort, QueuedRequestsServeFifo)
+{
+    sim::Simulation s;
+    ServerPort<Req, Resp> port(s, CallCost{usec(1), usec(1)});
+
+    std::vector<int> served;
+    s.spawn([](sim::Simulation &sim, ServerPort<Req, Resp> &p,
+               std::vector<int> *order) -> sim::Task<> {
+        for (int i = 0; i < 3; ++i) {
+            auto pending = co_await p.receive();
+            co_await sim.delay(usec(5));
+            order->push_back(pending.request.x);
+            pending.reply.setValue(Resp{0});
+        }
+    }(s, port, &served));
+
+    for (int i = 0; i < 3; ++i) {
+        s.spawn([](ServerPort<Req, Resp> &p, int x) -> sim::Task<> {
+            co_await p.call(Req{x});
+        }(port, i));
+    }
+    s.run();
+    EXPECT_EQ(served, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ServerPort, CostFromMachineMatchesTable1Decomposition)
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    CallCost c = CallCost::fromMachine(m);
+    // ipcSend(35) + contextSwitch(106) each way.
+    EXPECT_EQ(c.send, usec(141));
+    EXPECT_EQ(c.reply, usec(141));
+}
+
+TEST(ServerPort, ServerErrorPropagatesToCaller)
+{
+    sim::Simulation s;
+    ServerPort<Req, Resp> port(s, CallCost{0, 0});
+    s.spawn([](ServerPort<Req, Resp> &p) -> sim::Task<> {
+        auto pending = co_await p.receive();
+        pending.reply.setError(std::make_exception_ptr(
+            std::runtime_error("server failed")));
+    }(port));
+
+    bool caught = false;
+    s.spawn([](ServerPort<Req, Resp> &p, bool *c) -> sim::Task<> {
+        try {
+            co_await p.call(Req{1});
+        } catch (const std::runtime_error &) {
+            *c = true;
+        }
+    }(port, &caught));
+    s.run();
+    EXPECT_TRUE(caught);
+}
+
+} // namespace
+} // namespace vpp::ipc

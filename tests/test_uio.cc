@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the file server and the UIO block read/write interface,
+ * including the cached-file access-time calibration (Table 1 rows 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "hw/disk.h"
+#include "managers/default_mgr.h"
+#include "managers/spcm.h"
+#include "uio/block_io.h"
+#include "uio/file_server.h"
+
+namespace vpp::uio {
+namespace {
+
+using kernel::runTask;
+using sim::usec;
+
+TEST(FileServer, SparseReadWrite)
+{
+    sim::Simulation s;
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+
+    FileId f = fs.createFile("data", 1 << 20);
+    EXPECT_TRUE(fs.exists(f));
+    EXPECT_EQ(fs.fileSize(f), 1u << 20);
+    EXPECT_FALSE(fs.exists(f + 100));
+
+    // Unwritten ranges read as zeroes.
+    std::vector<std::byte> buf(100);
+    fs.readNow(f, 12345, buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, std::byte{0});
+
+    // Writes round-trip, including across the 64 KB chunk boundary.
+    std::string msg = "spanning the chunk boundary";
+    std::uint64_t off = (64 << 10) - 10;
+    fs.writeNow(f, off, std::as_bytes(std::span(msg.data(), msg.size())));
+    std::vector<std::byte> back(msg.size());
+    fs.readNow(f, off, back);
+    EXPECT_EQ(std::memcmp(back.data(), msg.data(), msg.size()), 0);
+}
+
+TEST(FileServer, WriteExtendsSize)
+{
+    sim::Simulation s;
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+    FileId f = fs.createFile("log", 0);
+    std::string msg = "hello";
+    fs.writeNow(f, 100, std::as_bytes(std::span(msg.data(), msg.size())));
+    EXPECT_EQ(fs.fileSize(f), 105u);
+}
+
+TEST(FileServer, TimedAccessCostsDisk)
+{
+    sim::Simulation s;
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+    FileId f = fs.createFile("data", 64 << 10);
+    std::vector<std::byte> buf(4096);
+    runTask(s, fs.readBlock(f, 0, buf));
+    // request overhead + positioning + transfer
+    EXPECT_EQ(s.now(), usec(200) + sim::msec(16) + usec(2048));
+    EXPECT_EQ(disk.reads(), 1u);
+}
+
+/** Full V++ stack for block-I/O tests. */
+class BlockIoTest : public ::testing::Test
+{
+  protected:
+    BlockIoTest()
+        : machine(makeMachine()), kern(s, machine),
+          disk(s, machine.diskLatency, machine.diskBandwidthMBps),
+          server(s, disk, usec(200)),
+          spcm(kern, std::nullopt),
+          ucds(kern, &spcm, server, reg), io(kern, reg),
+          proc("app", 1)
+    {
+        ucds.initNow(4096, 512);
+    }
+
+    static hw::MachineConfig
+    makeMachine()
+    {
+        hw::MachineConfig m = hw::decstation5000_200();
+        m.memoryBytes = 16 << 20;
+        return m;
+    }
+
+    sim::Simulation s;
+    hw::MachineConfig machine;
+    kernel::Kernel kern;
+    hw::Disk disk;
+    FileServer server;
+    FileRegistry reg;
+    mgr::SystemPageCacheManager spcm;
+    mgr::DefaultSegmentManager ucds;
+    BlockIo io;
+    kernel::Process proc;
+};
+
+TEST_F(BlockIoTest, CachedRead4KCosts222us)
+{
+    FileId f = server.createFile("hot", 64 << 10);
+    ucds.preloadFileNow(f);
+
+    std::vector<std::byte> buf(4096);
+    sim::SimTime t0 = s.now();
+    std::uint64_t n = runTask(s, io.read(proc, f, 0, buf));
+    EXPECT_EQ(n, 4096u);
+    EXPECT_EQ(s.now() - t0, usec(222)); // Table 1: V++ Read 4KB
+}
+
+TEST_F(BlockIoTest, CachedWrite4KCosts203us)
+{
+    FileId f = server.createFile("hot", 64 << 10);
+    ucds.preloadFileNow(f);
+
+    std::vector<std::byte> buf(4096, std::byte{7});
+    sim::SimTime t0 = s.now();
+    std::uint64_t n = runTask(s, io.write(proc, f, 0, buf));
+    EXPECT_EQ(n, 4096u);
+    EXPECT_EQ(s.now() - t0, usec(203)); // Table 1: V++ Write 4KB
+}
+
+TEST_F(BlockIoTest, ReadRoundTripsData)
+{
+    FileId f = server.createFile("data", 32 << 10);
+    std::vector<std::byte> content(32 << 10);
+    for (std::size_t i = 0; i < content.size(); ++i)
+        content[i] = static_cast<std::byte>(i * 31 % 251);
+    server.writeNow(f, 0, content);
+    ucds.preloadFileNow(f);
+
+    // Read spanning several pages at an unaligned offset.
+    std::vector<std::byte> buf(10000);
+    std::uint64_t n = runTask(s, io.read(proc, f, 3000, buf));
+    EXPECT_EQ(n, 10000u);
+    EXPECT_EQ(std::memcmp(buf.data(), content.data() + 3000, 10000), 0);
+}
+
+TEST_F(BlockIoTest, ShortReadAtEof)
+{
+    FileId f = server.createFile("tiny", 5000);
+    ucds.preloadFileNow(f);
+    std::vector<std::byte> buf(4096);
+    EXPECT_EQ(runTask(s, io.read(proc, f, 4096, buf)), 5000u - 4096);
+    EXPECT_EQ(runTask(s, io.read(proc, f, 5000, buf)), 0u);
+    EXPECT_EQ(runTask(s, io.read(proc, f, 9999, buf)), 0u);
+}
+
+TEST_F(BlockIoTest, ColdReadFaultsAndFetchesFromServer)
+{
+    FileId f = server.createFile("cold", 64 << 10);
+    std::string msg = "from backing store";
+    server.writeNow(f, 8192,
+                    std::as_bytes(std::span(msg.data(), msg.size())));
+    runTask(s, ucds.openFile(f));
+
+    std::vector<std::byte> buf(msg.size());
+    std::uint64_t faults_before = kern.stats().missingFaults;
+    runTask(s, io.read(proc, f, 8192, buf));
+    EXPECT_EQ(kern.stats().missingFaults, faults_before + 1);
+    EXPECT_EQ(std::memcmp(buf.data(), msg.data(), msg.size()), 0);
+    EXPECT_EQ(disk.reads(), 1u); // fetched exactly one block
+    // Second read hits the cache: no disk.
+    runTask(s, io.read(proc, f, 8192, buf));
+    EXPECT_EQ(disk.reads(), 1u);
+}
+
+TEST_F(BlockIoTest, AppendAllocatesInSixteenKUnits)
+{
+    FileId f = server.createFile("out", 0);
+    runTask(s, ucds.openFile(f));
+
+    // Write 64 KB sequentially in 4 KB chunks: 16 pages needed, but
+    // appends are allocated 4 pages at a time -> 4 manager calls.
+    std::vector<std::byte> chunk(4096, std::byte{1});
+    std::uint64_t calls_before = ucds.calls();
+    for (int i = 0; i < 16; ++i)
+        runTask(s, io.write(proc, f, i * 4096ull, chunk));
+    EXPECT_EQ(ucds.calls() - calls_before, 4u);
+    EXPECT_EQ(reg.sizeOf(f), 64u << 10);
+}
+
+TEST_F(BlockIoTest, WriteToUncachedFileThrows)
+{
+    FileId f = server.createFile("nocache", 4096);
+    std::vector<std::byte> buf(16);
+    EXPECT_THROW(runTask(s, io.write(proc, f, 0, buf)),
+                 kernel::KernelError);
+}
+
+TEST_F(BlockIoTest, CloseWritesBackDirtyPagesAndFreesFrames)
+{
+    FileId f = server.createFile("wb", 16 << 10);
+    ucds.preloadFileNow(f);
+    std::vector<std::byte> data(4096, std::byte{0x5A});
+    runTask(s, io.write(proc, f, 4096, data));
+
+    std::uint64_t disk_writes_before = disk.writes();
+    std::uint64_t free_before = ucds.freePages();
+    runTask(s, ucds.closeFile(f));
+    EXPECT_EQ(disk.writes(), disk_writes_before + 1); // one dirty page
+    EXPECT_EQ(ucds.freePages(), free_before + 4);     // 16 KB returned
+    EXPECT_FALSE(reg.isCached(f));
+
+    // The dirty data reached the server.
+    std::vector<std::byte> back(4096);
+    server.readNow(f, 4096, back);
+    EXPECT_EQ(back[100], std::byte{0x5A});
+
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+} // namespace
+} // namespace vpp::uio
