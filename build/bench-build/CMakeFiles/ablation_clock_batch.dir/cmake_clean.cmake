@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_clock_batch"
+  "../bench/ablation_clock_batch.pdb"
+  "CMakeFiles/ablation_clock_batch.dir/ablation_clock_batch.cc.o"
+  "CMakeFiles/ablation_clock_batch.dir/ablation_clock_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clock_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coloring"
+  "../bench/ablation_coloring.pdb"
+  "CMakeFiles/ablation_coloring.dir/ablation_coloring.cc.o"
+  "CMakeFiles/ablation_coloring.dir/ablation_coloring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_discardable"
+  "../bench/ablation_discardable.pdb"
+  "CMakeFiles/ablation_discardable.dir/ablation_discardable.cc.o"
+  "CMakeFiles/ablation_discardable.dir/ablation_discardable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discardable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_manager_mode"
+  "../bench/ablation_manager_mode.pdb"
+  "CMakeFiles/ablation_manager_mode.dir/ablation_manager_mode.cc.o"
+  "CMakeFiles/ablation_manager_mode.dir/ablation_manager_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_manager_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

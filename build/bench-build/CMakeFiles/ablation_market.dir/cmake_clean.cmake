@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_market"
+  "../bench/ablation_market.pdb"
+  "CMakeFiles/ablation_market.dir/ablation_market.cc.o"
+  "CMakeFiles/ablation_market.dir/ablation_market.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_paging_period"
+  "../bench/ablation_paging_period.pdb"
+  "CMakeFiles/ablation_paging_period.dir/ablation_paging_period.cc.o"
+  "CMakeFiles/ablation_paging_period.dir/ablation_paging_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paging_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

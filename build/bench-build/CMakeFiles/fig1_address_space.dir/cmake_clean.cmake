@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_address_space"
+  "../bench/fig1_address_space.pdb"
+  "CMakeFiles/fig1_address_space.dir/fig1_address_space.cc.o"
+  "CMakeFiles/fig1_address_space.dir/fig1_address_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_fault_path"
+  "../bench/fig2_fault_path.pdb"
+  "CMakeFiles/fig2_fault_path.dir/fig2_fault_path.cc.o"
+  "CMakeFiles/fig2_fault_path.dir/fig2_fault_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fault_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

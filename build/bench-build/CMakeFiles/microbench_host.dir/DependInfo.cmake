@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/microbench_host.cc" "bench-build/CMakeFiles/microbench_host.dir/microbench_host.cc.o" "gcc" "bench-build/CMakeFiles/microbench_host.dir/microbench_host.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/appmgr/CMakeFiles/vpp_appmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vpp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/vpp_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/uio/CMakeFiles/vpp_uio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vpp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_host"
+  "../bench/microbench_host.pdb"
+  "CMakeFiles/microbench_host.dir/microbench_host.cc.o"
+  "CMakeFiles/microbench_host.dir/microbench_host.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_applications"
+  "../bench/table2_applications.pdb"
+  "CMakeFiles/table2_applications.dir/table2_applications.cc.o"
+  "CMakeFiles/table2_applications.dir/table2_applications.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_vm_activity"
+  "../bench/table3_vm_activity.pdb"
+  "CMakeFiles/table3_vm_activity.dir/table3_vm_activity.cc.o"
+  "CMakeFiles/table3_vm_activity.dir/table3_vm_activity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vm_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

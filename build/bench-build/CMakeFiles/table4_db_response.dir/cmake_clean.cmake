@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_db_response"
+  "../bench/table4_db_response.pdb"
+  "CMakeFiles/table4_db_response.dir/table4_db_response.cc.o"
+  "CMakeFiles/table4_db_response.dir/table4_db_response.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_db_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_swapping.dir/app_swapping.cpp.o"
+  "CMakeFiles/app_swapping.dir/app_swapping.cpp.o.d"
+  "app_swapping"
+  "app_swapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_swapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_regeneration.dir/db_regeneration.cpp.o"
+  "CMakeFiles/db_regeneration.dir/db_regeneration.cpp.o.d"
+  "db_regeneration"
+  "db_regeneration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_regeneration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

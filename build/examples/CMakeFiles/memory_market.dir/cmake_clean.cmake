@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_market.dir/memory_market.cpp.o"
+  "CMakeFiles/memory_market.dir/memory_market.cpp.o.d"
+  "memory_market"
+  "memory_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_coloring.dir/page_coloring.cpp.o"
+  "CMakeFiles/page_coloring.dir/page_coloring.cpp.o.d"
+  "page_coloring"
+  "page_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_prefetch.dir/scientific_prefetch.cpp.o"
+  "CMakeFiles/scientific_prefetch.dir/scientific_prefetch.cpp.o.d"
+  "scientific_prefetch"
+  "scientific_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

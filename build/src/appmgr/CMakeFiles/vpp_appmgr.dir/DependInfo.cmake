@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appmgr/coloring_mgr.cc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/coloring_mgr.cc.o" "gcc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/coloring_mgr.cc.o.d"
+  "/root/repo/src/appmgr/db_mgr.cc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/db_mgr.cc.o" "gcc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/db_mgr.cc.o.d"
+  "/root/repo/src/appmgr/placement_mgr.cc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/placement_mgr.cc.o" "gcc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/placement_mgr.cc.o.d"
+  "/root/repo/src/appmgr/prefetch_mgr.cc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/prefetch_mgr.cc.o" "gcc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/prefetch_mgr.cc.o.d"
+  "/root/repo/src/appmgr/swap_mgr.cc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/swap_mgr.cc.o" "gcc" "src/appmgr/CMakeFiles/vpp_appmgr.dir/swap_mgr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/managers/CMakeFiles/vpp_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/uio/CMakeFiles/vpp_uio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vpp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_appmgr.dir/coloring_mgr.cc.o"
+  "CMakeFiles/vpp_appmgr.dir/coloring_mgr.cc.o.d"
+  "CMakeFiles/vpp_appmgr.dir/db_mgr.cc.o"
+  "CMakeFiles/vpp_appmgr.dir/db_mgr.cc.o.d"
+  "CMakeFiles/vpp_appmgr.dir/placement_mgr.cc.o"
+  "CMakeFiles/vpp_appmgr.dir/placement_mgr.cc.o.d"
+  "CMakeFiles/vpp_appmgr.dir/prefetch_mgr.cc.o"
+  "CMakeFiles/vpp_appmgr.dir/prefetch_mgr.cc.o.d"
+  "CMakeFiles/vpp_appmgr.dir/swap_mgr.cc.o"
+  "CMakeFiles/vpp_appmgr.dir/swap_mgr.cc.o.d"
+  "libvpp_appmgr.a"
+  "libvpp_appmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_appmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_apps.dir/workload.cc.o"
+  "CMakeFiles/vpp_apps.dir/workload.cc.o.d"
+  "libvpp_apps.a"
+  "libvpp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_baseline.dir/conventional_vm.cc.o"
+  "CMakeFiles/vpp_baseline.dir/conventional_vm.cc.o.d"
+  "libvpp_baseline.a"
+  "libvpp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_core.dir/kernel.cc.o"
+  "CMakeFiles/vpp_core.dir/kernel.cc.o.d"
+  "libvpp_core.a"
+  "libvpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

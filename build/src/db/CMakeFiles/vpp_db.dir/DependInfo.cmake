@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/lock.cc" "src/db/CMakeFiles/vpp_db.dir/lock.cc.o" "gcc" "src/db/CMakeFiles/vpp_db.dir/lock.cc.o.d"
+  "/root/repo/src/db/study.cc" "src/db/CMakeFiles/vpp_db.dir/study.cc.o" "gcc" "src/db/CMakeFiles/vpp_db.dir/study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vpp_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

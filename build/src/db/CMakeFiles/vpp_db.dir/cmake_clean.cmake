@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_db.dir/lock.cc.o"
+  "CMakeFiles/vpp_db.dir/lock.cc.o.d"
+  "CMakeFiles/vpp_db.dir/study.cc.o"
+  "CMakeFiles/vpp_db.dir/study.cc.o.d"
+  "libvpp_db.a"
+  "libvpp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache_model.cc" "src/hw/CMakeFiles/vpp_hw.dir/cache_model.cc.o" "gcc" "src/hw/CMakeFiles/vpp_hw.dir/cache_model.cc.o.d"
+  "/root/repo/src/hw/config.cc" "src/hw/CMakeFiles/vpp_hw.dir/config.cc.o" "gcc" "src/hw/CMakeFiles/vpp_hw.dir/config.cc.o.d"
+  "/root/repo/src/hw/physmem.cc" "src/hw/CMakeFiles/vpp_hw.dir/physmem.cc.o" "gcc" "src/hw/CMakeFiles/vpp_hw.dir/physmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

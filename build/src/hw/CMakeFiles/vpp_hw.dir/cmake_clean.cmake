@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_hw.dir/cache_model.cc.o"
+  "CMakeFiles/vpp_hw.dir/cache_model.cc.o.d"
+  "CMakeFiles/vpp_hw.dir/config.cc.o"
+  "CMakeFiles/vpp_hw.dir/config.cc.o.d"
+  "CMakeFiles/vpp_hw.dir/physmem.cc.o"
+  "CMakeFiles/vpp_hw.dir/physmem.cc.o.d"
+  "libvpp_hw.a"
+  "libvpp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_managers.dir/default_mgr.cc.o"
+  "CMakeFiles/vpp_managers.dir/default_mgr.cc.o.d"
+  "CMakeFiles/vpp_managers.dir/generic.cc.o"
+  "CMakeFiles/vpp_managers.dir/generic.cc.o.d"
+  "CMakeFiles/vpp_managers.dir/spcm.cc.o"
+  "CMakeFiles/vpp_managers.dir/spcm.cc.o.d"
+  "libvpp_managers.a"
+  "libvpp_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_sim.dir/simulation.cc.o"
+  "CMakeFiles/vpp_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/vpp_sim.dir/sync.cc.o"
+  "CMakeFiles/vpp_sim.dir/sync.cc.o.d"
+  "libvpp_sim.a"
+  "libvpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

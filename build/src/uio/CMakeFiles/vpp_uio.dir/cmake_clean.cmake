@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpp_uio.dir/block_io.cc.o"
+  "CMakeFiles/vpp_uio.dir/block_io.cc.o.d"
+  "CMakeFiles/vpp_uio.dir/file_server.cc.o"
+  "CMakeFiles/vpp_uio.dir/file_server.cc.o.d"
+  "libvpp_uio.a"
+  "libvpp_uio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpp_uio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appmgr.dir/test_appmgr.cc.o"
+  "CMakeFiles/test_appmgr.dir/test_appmgr.cc.o.d"
+  "test_appmgr"
+  "test_appmgr.pdb"
+  "test_appmgr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_managers.dir/test_managers.cc.o"
+  "CMakeFiles/test_managers.dir/test_managers.cc.o.d"
+  "test_managers"
+  "test_managers.pdb"
+  "test_managers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

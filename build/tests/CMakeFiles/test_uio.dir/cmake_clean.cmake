@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uio.dir/test_uio.cc.o"
+  "CMakeFiles/test_uio.dir/test_uio.cc.o.d"
+  "test_uio"
+  "test_uio.pdb"
+  "test_uio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_uio[1]_include.cmake")
+include("/root/repo/build/tests/test_managers[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_appmgr[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
