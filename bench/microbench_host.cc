@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/kernel.h"
 #include "db/lock.h"
 #include "hw/cache_model.h"
@@ -41,6 +46,33 @@ BM_EventScheduling(benchmark::State &state)
 BENCHMARK(BM_EventScheduling);
 
 void
+BM_EventThroughput(benchmark::State &state)
+{
+    // Many concurrent coroutines pushing delays through the queue:
+    // exercises the heap/next-register interplay rather than the
+    // schedule-one/run-one pattern of BM_EventScheduling.
+    const int tasks = static_cast<int>(state.range(0));
+    constexpr int kRounds = 64;
+    for (auto _ : state) {
+        sim::Simulation s;
+        for (int i = 0; i < tasks; ++i) {
+            s.spawn([](sim::Simulation *sim, int salt) -> sim::Task<> {
+                for (int k = 0; k < kRounds; ++k) {
+                    if ((k + salt) % 5 == 0)
+                        co_await sim->yield();
+                    else
+                        co_await sim->delay(1 + (k + salt) % 7);
+                }
+            }(&s, i));
+        }
+        s.run();
+        benchmark::DoNotOptimize(s.eventsRun());
+    }
+    state.SetItemsProcessed(state.iterations() * tasks * kRounds);
+}
+BENCHMARK(BM_EventThroughput)->Arg(4)->Arg(64)->Arg(512);
+
+void
 BM_MigratePagesNow(benchmark::State &state)
 {
     sim::Simulation s;
@@ -60,7 +92,7 @@ BM_MigratePagesNow(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_MigratePagesNow)->Arg(1)->Arg(16)->Arg(256);
+BENCHMARK(BM_MigratePagesNow)->Arg(1)->Arg(16)->Arg(256)->Arg(1024);
 
 void
 BM_ResolveThroughBindings(benchmark::State &state)
@@ -103,7 +135,8 @@ BM_FullFaultPath(benchmark::State &state)
             state.PauseTiming();
             // Recycle: reclaim everything allocated so far.
             std::vector<kernel::PageIndex> pages;
-            for (auto &[pg, e] : kern.segment(seg).pages())
+            pages.reserve(kern.segment(seg).pages().size());
+            for (const auto &[pg, e] : kern.segment(seg).pages())
                 pages.push_back(pg);
             for (auto pg : pages)
                 kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
@@ -116,6 +149,31 @@ BM_FullFaultPath(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullFaultPath);
+
+void
+BM_TouchResident(benchmark::State &state)
+{
+    // Warm touch: the page is resident and accessible, so this is the
+    // no-fault delivery path (resolve + flag update), the common case
+    // between faults.
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(256, 128);
+    kernel::SegmentId seg =
+        kern.createSegmentNow("heap", 4096, 1 << 20, 1, &manager);
+    kernel::Process proc("p", 1);
+    kernel::runTask(s, kern.touchSegment(proc, seg, 0,
+                                         kernel::AccessType::Write));
+    for (auto _ : state) {
+        kernel::runTask(s, kern.touchSegment(
+                               proc, seg, 0, kernel::AccessType::Read));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TouchResident);
 
 void
 BM_CacheModelAccess(benchmark::State &state)
@@ -153,4 +211,43 @@ BENCHMARK(BM_Xoshiro);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so `--json[=path]` writes the machine-readable results
+ * (default BENCH_host.json) used by scripts/check_perf.sh to track the
+ * host-perf trajectory across commits. It expands to google-benchmark's
+ * --benchmark_out/--benchmark_out_format flags.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::string outPath;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            outPath = "BENCH_host.json";
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            outPath = argv[i] + 7;
+            if (outPath.empty()) {
+                std::fprintf(stderr,
+                             "error: --json= requires a path\n");
+                return 1;
+            }
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    std::string outFlag, fmtFlag;
+    if (!outPath.empty()) {
+        outFlag = "--benchmark_out=" + outPath;
+        fmtFlag = "--benchmark_out_format=json";
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Host-perf regression gate: build the relbench preset, run the host
+# microbenchmarks with the JSON emitter, and compare per-benchmark CPU
+# time against the committed baseline (BENCH_host.json).
+#
+# Usage: scripts/check_perf.sh [tolerance]
+#   tolerance: allowed fractional slowdown before failing (default 0.50;
+#              host timing on shared machines is noisy, so keep this
+#              generous and rely on the trajectory, not single runs).
+#
+# Exit status: 0 if every benchmark is within tolerance of the
+# baseline (new benchmarks absent from the baseline are reported but
+# do not fail), 1 otherwise.
+
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+tol="${1:-0.50}"
+case "$tol" in
+    ''|*[!0-9.]*|*.*.*)
+        echo "error: tolerance must be a number, got '$tol'" >&2
+        exit 1 ;;
+esac
+baseline="$repo/BENCH_host.json"
+fresh="$repo/build-relbench/BENCH_host_new.json"
+
+if [ ! -f "$baseline" ]; then
+    echo "error: no baseline at $baseline" >&2
+    echo "Generate one with:" >&2
+    echo "  build-relbench/bench/microbench_host --json=BENCH_host.json" >&2
+    exit 1
+fi
+
+cmake --preset relbench -S "$repo" >/dev/null
+cmake --build --preset relbench --target microbench_host -j >/dev/null
+
+(cd "$repo/build-relbench" &&
+     ./bench/microbench_host \
+         --json="$fresh" --benchmark_min_time=0.2 >/dev/null)
+
+python3 - "$baseline" "$fresh" "$tol" <<'EOF'
+import json, sys
+
+base_path, new_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def times(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (b["cpu_time"], b["time_unit"])
+    return out
+
+base, new = times(base_path), times(new_path)
+failed = []
+for name, (t_new, unit) in sorted(new.items()):
+    if name not in base:
+        print(f"  NEW   {name}: {t_new:.1f} {unit} (no baseline)")
+        continue
+    t_base, base_unit = base[name]
+    if base_unit != unit:
+        print(f"  SKIP  {name}: unit changed {base_unit} -> {unit}")
+        continue
+    ratio = t_new / t_base if t_base else float("inf")
+    status = "OK" if ratio <= 1.0 + tol else "SLOW"
+    print(f"  {status:5s} {name}: {t_base:.1f} -> {t_new:.1f} {unit} "
+          f"({ratio:+.1%} of baseline)".replace("+", ""))
+    if status == "SLOW":
+        failed.append(name)
+
+if failed:
+    print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond "
+          f"{tol:.0%}: {', '.join(failed)}")
+    sys.exit(1)
+print(f"\nOK: all benchmarks within {tol:.0%} of baseline")
+EOF

@@ -97,6 +97,7 @@ SwappableAppManager::swapOut(kernel::Process &p)
     // all frames back to the free pool, then to the SPCM.
     for (SegmentId seg : appSegments_) {
         std::vector<PageIndex> pages;
+        pages.reserve(kern().segment(seg).pages().size());
         for (const auto &[pg, e] : kern().segment(seg).pages())
             pages.push_back(pg);
         for (PageIndex pg : pages) {

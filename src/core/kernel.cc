@@ -163,27 +163,23 @@ Kernel::bindRegionNow(SegmentId seg, PageIndex at, std::uint64_t pages,
         target_start + pages > t.pageLimit()) {
         throw KernelError(KernelErrc::LimitExceeded, "binding range");
     }
-    for (const auto &b : s.bindings()) {
-        if (at < b.start + b.pages && b.start < at + pages)
-            throw KernelError(KernelErrc::PageBusy, "regions overlap");
-    }
-    s.bindings().push_back(
-        Binding{at, pages, target, target_start,
-                prot & flag::kProtMask, copy_on_write});
+    if (s.overlapsBinding(at, pages))
+        throw KernelError(KernelErrc::PageBusy, "regions overlap");
+    s.addBinding(Binding{at, pages, target, target_start,
+                         prot & flag::kProtMask, copy_on_write});
     ++bindRefs_[target];
+    invalidateResolutions();
 }
 
 void
 Kernel::unbindRegionNow(SegmentId seg, PageIndex at)
 {
     Segment &s = segmentOrThrow(seg);
-    auto &bs = s.bindings();
-    auto it = std::find_if(bs.begin(), bs.end(),
-                           [at](const Binding &b) { return b.start == at; });
-    if (it == bs.end())
+    std::optional<Binding> b = s.takeBindingAt(at);
+    if (!b)
         throw KernelError(KernelErrc::BadPage, "no region at page");
-    --bindRefs_[it->target];
-    bs.erase(it);
+    --bindRefs_[b->target];
+    invalidateResolutions();
 }
 
 void
@@ -349,6 +345,7 @@ Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
     if (bytes_zeroed)
         *bytes_zeroed = zeroed;
     stats_.pagesMigrated += pages;
+    invalidateResolutions();
     return ndst;
 }
 
@@ -366,6 +363,7 @@ Kernel::modifyPageFlagsNow(SegmentId seg, PageIndex page,
         e->flags = (e->flags | set_flags) & ~clear_flags;
         ++modified;
     }
+    invalidateResolutions();
     return modified;
 }
 
@@ -492,6 +490,7 @@ Kernel::destroySegment(SegmentId seg)
     segments_.erase(seg);
     bindRefs_.erase(seg);
     ++stats_.segmentsDestroyed;
+    invalidateResolutions();
 }
 
 void
@@ -499,7 +498,7 @@ Kernel::sweepToPhysSegment(Segment &seg)
 {
     Segment &phys = segmentOrThrow(kPhysSegment);
     const std::uint32_t fpp = framesPerPage(seg);
-    for (auto &[page, entry] : seg.pages()) {
+    for (const auto &[page, entry] : seg.pages()) {
         for (std::uint32_t f = 0; f < fpp; ++f) {
             hw::FrameId fid = entry.frame + f;
             phys.pages()[fid] =
@@ -511,6 +510,7 @@ Kernel::sweepToPhysSegment(Segment &seg)
         }
     }
     seg.pages().clear();
+    invalidateResolutions();
 }
 
 // ----------------------------------------------------------------------
@@ -520,11 +520,16 @@ Kernel::sweepToPhysSegment(Segment &seg)
 Kernel::Resolution
 Kernel::resolve(SegmentId seg, PageIndex page)
 {
+    Segment &origin = segmentOrThrow(seg);
+    if (const Resolution *c = origin.cachedResolution(page, resolveEpoch_))
+        return *c;
+
     Resolution r;
     SegmentId cur_seg = seg;
     PageIndex cur_page = page;
     for (int depth = 0; depth < kMaxBindingDepth; ++depth) {
-        Segment &s = segmentOrThrow(cur_seg);
+        Segment &s =
+            cur_seg == seg ? origin : segmentOrThrow(cur_seg);
         if (!s.inRange(cur_page))
             throw KernelError(KernelErrc::BadPage,
                               "page beyond segment limit");
@@ -533,6 +538,7 @@ Kernel::resolve(SegmentId seg, PageIndex page)
             r.seg = cur_seg;
             r.page = cur_page;
             r.entry = e;
+            origin.storeResolution(page, r, resolveEpoch_);
             return r;
         }
         const Binding *b = s.findBinding(cur_page);
@@ -540,6 +546,7 @@ Kernel::resolve(SegmentId seg, PageIndex page)
             r.present = false;
             r.seg = cur_seg;
             r.page = cur_page;
+            origin.storeResolution(page, r, resolveEpoch_);
             return r;
         }
         r.regionProt &= b->prot;

@@ -229,17 +229,7 @@ class Kernel
     const Stats &stats() const { return stats_; }
 
     /** Result of resolving a segment reference (exposed for tests). */
-    struct Resolution
-    {
-        bool present = false;      ///< a frame-backed entry was found
-        SegmentId seg = kInvalidSegment;  ///< entry owner / fault target
-        PageIndex page = 0;
-        PageEntry *entry = nullptr;
-        std::uint32_t regionProt = flag::kProtMask; ///< AND of region prots
-        bool viaCow = false;
-        SegmentId cowSeg = kInvalidSegment; ///< where a private copy goes
-        PageIndex cowPage = 0;
-    };
+    using Resolution = ::vpp::kernel::Resolution;
 
     Resolution resolve(SegmentId seg, PageIndex page);
 
@@ -253,6 +243,13 @@ class Kernel
 
     /** Follow non-copy-on-write bindings to the install target. */
     void resolveForInstall(SegmentId &seg, PageIndex &page) const;
+
+    /**
+     * Invalidate every segment's one-entry resolve cache. Called by
+     * anything that changes what resolve() could observe: migrations,
+     * bind/unbind, flag edits, segment destruction.
+     */
+    void invalidateResolutions() { ++resolveEpoch_; }
 
     void sweepToPhysSegment(Segment &seg);
 
@@ -271,6 +268,8 @@ class Kernel
     std::map<SegmentManager *, std::unique_ptr<sim::SimMutex>> mgrLocks_;
     std::unique_ptr<hw::Tlb> tlb_;
     Stats stats_;
+    std::uint64_t resolveEpoch_ = 1; ///< segment caches start at 0
+
 };
 
 /** Run a task to completion on a fresh simulation (test helper). */

@@ -7,30 +7,30 @@
  * forwards references to another segment, optionally copy-on-write.
  * Own pages override bindings: installing a frame at a bound page (the
  * copy-on-write resolution) shadows the binding for that page.
+ *
+ * Pages live in a two-level sparse table (page_table.h) with O(1)
+ * lookup; bindings are kept sorted by start page so the covering
+ * region is found by binary search. Each segment also carries a
+ * one-entry cache of the last resolve() result, validated against the
+ * kernel's mutation epoch.
  */
 
 #ifndef VPP_CORE_SEGMENT_H
 #define VPP_CORE_SEGMENT_H
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/page_table.h"
 #include "core/types.h"
 #include "hw/types.h"
 
 namespace vpp::kernel {
 
 class SegmentManager;
-
-/** A page with a frame installed. */
-struct PageEntry
-{
-    hw::FrameId frame = hw::kInvalidFrame;
-    std::uint32_t flags = 0;
-};
 
 /** A bound region forwarding a page range to another segment. */
 struct Binding
@@ -47,6 +47,19 @@ struct Binding
     {
         return p >= start && p < start + pages;
     }
+};
+
+/** Result of resolving a segment reference (exposed for tests). */
+struct Resolution
+{
+    bool present = false;      ///< a frame-backed entry was found
+    SegmentId seg = kInvalidSegment;  ///< entry owner / fault target
+    PageIndex page = 0;
+    PageEntry *entry = nullptr;
+    std::uint32_t regionProt = flag::kProtMask; ///< AND of region prots
+    bool viaCow = false;
+    SegmentId cowSeg = kInvalidSegment; ///< where a private copy goes
+    PageIndex cowPage = 0;
 };
 
 class Segment
@@ -70,40 +83,94 @@ class Segment
     /** Number of pages currently holding frames. */
     std::uint64_t presentPages() const { return pages_.size(); }
 
-    const PageEntry *
-    findPage(PageIndex p) const
-    {
-        auto it = pages_.find(p);
-        return it == pages_.end() ? nullptr : &it->second;
-    }
+    const PageEntry *findPage(PageIndex p) const { return pages_.find(p); }
 
-    PageEntry *
-    findPage(PageIndex p)
-    {
-        auto it = pages_.find(p);
-        return it == pages_.end() ? nullptr : &it->second;
-    }
+    PageEntry *findPage(PageIndex p) { return pages_.find(p); }
 
     /** The binding covering @p p, if any (bindings never overlap). */
     const Binding *
     findBinding(PageIndex p) const
     {
-        for (const auto &b : bindings_)
-            if (b.covers(p))
-                return &b;
-        return nullptr;
+        // bindings_ is sorted by start: the only candidate is the last
+        // region starting at or before p.
+        auto it = std::upper_bound(
+            bindings_.begin(), bindings_.end(), p,
+            [](PageIndex v, const Binding &b) { return v < b.start; });
+        if (it == bindings_.begin())
+            return nullptr;
+        --it;
+        return it->covers(p) ? &*it : nullptr;
     }
 
-    const std::map<PageIndex, PageEntry> &pages() const { return pages_; }
-    std::map<PageIndex, PageEntry> &pages() { return pages_; }
+    /** True if [at, at+pages) overlaps any existing bound region. */
+    bool
+    overlapsBinding(PageIndex at, std::uint64_t pages) const
+    {
+        auto it = std::upper_bound(
+            bindings_.begin(), bindings_.end(), at + pages,
+            [](PageIndex v, const Binding &b) { return v <= b.start; });
+        if (it == bindings_.begin())
+            return false;
+        --it;
+        return it->start + it->pages > at;
+    }
+
+    /** Insert a region keeping bindings_ sorted by start page. */
+    void
+    addBinding(const Binding &b)
+    {
+        auto it = std::upper_bound(
+            bindings_.begin(), bindings_.end(), b.start,
+            [](PageIndex v, const Binding &r) { return v < r.start; });
+        bindings_.insert(it, b);
+    }
+
+    /** Remove and return the region starting exactly at @p at. */
+    std::optional<Binding>
+    takeBindingAt(PageIndex at)
+    {
+        auto it = std::lower_bound(
+            bindings_.begin(), bindings_.end(), at,
+            [](const Binding &b, PageIndex v) { return b.start < v; });
+        if (it == bindings_.end() || it->start != at)
+            return std::nullopt;
+        Binding b = *it;
+        bindings_.erase(it);
+        return b;
+    }
+
+    const PageTable &pages() const { return pages_; }
+    PageTable &pages() { return pages_; }
 
     const std::vector<Binding> &bindings() const { return bindings_; }
-    std::vector<Binding> &bindings() { return bindings_; }
 
     bool
     inRange(PageIndex p) const
     {
         return p < pageLimit_;
+    }
+
+    /**
+     * One-entry resolve() cache. A hit requires the same queried page
+     * and a kernel mutation epoch unchanged since the store; any
+     * migrate/bind/unbind/flag edit bumps the epoch and invalidates
+     * every segment's cache at once.
+     */
+    const Resolution *
+    cachedResolution(PageIndex p, std::uint64_t epoch) const
+    {
+        if (rcacheEpoch_ == epoch && rcachePage_ == p)
+            return &rcache_;
+        return nullptr;
+    }
+
+    void
+    storeResolution(PageIndex p, const Resolution &r,
+                    std::uint64_t epoch) const
+    {
+        rcachePage_ = p;
+        rcache_ = r;
+        rcacheEpoch_ = epoch;
     }
 
   private:
@@ -113,8 +180,12 @@ class Segment
     std::uint64_t pageLimit_;
     UserId owner_;
     SegmentManager *manager_ = nullptr;
-    std::map<PageIndex, PageEntry> pages_;
-    std::vector<Binding> bindings_;
+    PageTable pages_;
+    std::vector<Binding> bindings_; ///< sorted by Binding::start
+
+    mutable PageIndex rcachePage_ = 0;
+    mutable Resolution rcache_;
+    mutable std::uint64_t rcacheEpoch_ = 0; ///< 0 == never valid
 };
 
 } // namespace vpp::kernel

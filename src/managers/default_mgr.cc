@@ -131,10 +131,8 @@ DefaultSegmentManager::allocCount(Kernel &k, const Fault &f)
     if (reg_->fileOf(f.segment) == uio::kInvalidFile)
         return 1;
     const kernel::Segment &seg = k.segment(f.segment);
-    if (!seg.pages().empty() &&
-        f.page <= seg.pages().rbegin()->first) {
+    if (auto last = seg.pages().maxPage(); last && f.page <= *last)
         return 1; // overwrite within the resident part: single page
-    }
     return params_.appendUnitPages;
 }
 
@@ -152,6 +150,8 @@ DefaultSegmentManager::clockPass(std::uint64_t target_reclaim)
         // Snapshot the candidate pages; reclaim mutates the map.
         std::vector<PageIndex> referenced;
         std::vector<PageIndex> cold;
+        referenced.reserve(seg.pages().size());
+        cold.reserve(seg.pages().size());
         for (const auto &[page, entry] : seg.pages()) {
             if (entry.flags & flag::kPinned)
                 continue;
@@ -201,6 +201,7 @@ DefaultSegmentManager::syncPass()
         if (reg_->fileOf(sid) == uio::kInvalidFile)
             continue; // anonymous memory has no backing store
         std::vector<PageIndex> dirty;
+        dirty.reserve(kern().segment(sid).pages().size());
         for (const auto &[page, entry] : kern().segment(sid).pages()) {
             if ((entry.flags & flag::kDirty) &&
                 !(entry.flags & flag::kDiscardable)) {

@@ -71,6 +71,7 @@ SystemPageCacheManager::pickFrames(std::uint64_t n,
 {
     std::vector<hw::FrameId> out;
     const auto &phys = kern_->segment(kernel::kPhysSegment);
+    out.reserve(std::min<std::uint64_t>(n, phys.pages().size()));
     for (const auto &[page, entry] : phys.pages()) {
         if (out.size() >= n)
             break;

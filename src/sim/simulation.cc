@@ -38,6 +38,26 @@ runRoot(Simulation *sim, Task<> inner, int *live,
 
 } // namespace
 
+Simulation::~Simulation()
+{
+    // Destroy any slab-held callables still queued. Inline payloads
+    // are trivially destructible by construction; queued coroutine
+    // resumptions are not destroyed here because their frames are
+    // owned by the tasks that spawned them.
+    while (!nowQueue_.empty()) {
+        if (nowQueue_.front().kind == Event::kSlot)
+            releaseSlot(nowQueue_.front().slot);
+        nowQueue_.pop_front();
+    }
+    if (nextValid_ && next_.kind == Event::kSlot)
+        releaseSlot(next_.slot);
+    while (!heap_.empty()) {
+        if (heap_.top().kind == Event::kSlot)
+            releaseSlot(heap_.top().slot);
+        heap_.pop();
+    }
+}
+
 void
 Simulation::spawn(Task<> t)
 {
@@ -45,42 +65,85 @@ Simulation::spawn(Task<> t)
 }
 
 void
-Simulation::rethrowPending()
+Simulation::rethrowPendingSlow()
 {
-    if (!errors_.empty()) {
-        auto e = errors_.front();
-        errors_.clear();
-        std::rethrow_exception(e);
+    auto e = errors_.front();
+    errors_.clear();
+    std::rethrow_exception(e);
+}
+
+void
+Simulation::fireEvent(Event &ev)
+{
+    switch (ev.kind) {
+      case Event::kCoroutine:
+        std::coroutine_handle<>::from_address(ev.coro).resume();
+        return;
+      case Event::kInline:
+        // `ev` is the caller's stack copy, so the payload stays valid
+        // however the queues mutate during the call.
+        ev.invoke(ev.payload);
+        return;
+      case Event::kSlot: {
+        // The callback is destroyed and its slot recycled even if it
+        // throws; slot addresses are stable while the callback runs
+        // (the slab is a deque), so it may freely schedule further
+        // events.
+        struct SlotGuard
+        {
+            ~SlotGuard() { sim->releaseSlot(idx); }
+            Simulation *sim;
+            std::uint32_t idx;
+        } guard{this, ev.slot};
+        CallbackSlot &s = slots_[ev.slot];
+        s.invoke(s.storage);
+        return;
+      }
     }
 }
 
 SimTime
-Simulation::run()
+Simulation::drainUntil(SimTime deadline)
 {
     rethrowPending();
-    while (!queue_.empty()) {
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
+    for (;;) {
+        Event ev;
+        // next_ is the minimum of all future events, so it stands in
+        // for the heap top; the heap refills it on consumption.
+        if (nextValid_ &&
+            (next_.when == now_ ||
+             (nowQueue_.empty() && next_.when <= deadline))) {
+            ev = next_;
+            if (!heap_.empty()) {
+                next_ = heap_.top();
+                heap_.pop();
+            } else {
+                nextValid_ = false;
+            }
+            now_ = ev.when;
+        } else if (!nowQueue_.empty() && now_ <= deadline) {
+            ev = nowQueue_.front();
+            nowQueue_.pop_front();
+        } else {
+            break;
+        }
         ++eventsRun_;
-        ev.fn();
+        fireEvent(ev);
         rethrowPending();
     }
     return now_;
 }
 
 SimTime
+Simulation::run()
+{
+    return drainUntil(std::numeric_limits<SimTime>::max());
+}
+
+SimTime
 Simulation::runUntil(SimTime deadline)
 {
-    rethrowPending();
-    while (!queue_.empty() && queue_.top().when <= deadline) {
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        ++eventsRun_;
-        ev.fn();
-        rethrowPending();
-    }
+    drainUntil(deadline);
     if (now_ < deadline)
         now_ = deadline;
     return now_;

@@ -7,17 +7,33 @@
  * they advance time with `co_await sim.delay(d)` and communicate through
  * futures, semaphores and channels (sync.h). Events at the same
  * timestamp run in FIFO order, making every run deterministic.
+ *
+ * Hot-path design: an event is a 32-byte POD carrying either a
+ * coroutine handle (the dominant case — delay()/yield() resumption and
+ * all sync.h wakeups) or an index into a slab of fixed-size callback
+ * slots with a free list. Neither case heap-allocates per event in
+ * steady state. Events scheduled for the *current* instant bypass the
+ * binary heap through a FIFO side queue; because any event scheduled at
+ * `now` necessarily carries a larger sequence number than everything
+ * already heaped at `now`, draining the heap's now-events first and the
+ * FIFO second reproduces the (when, seq) total order bit-for-bit.
  */
 
 #ifndef VPP_SIM_SIMULATION_H
 #define VPP_SIM_SIMULATION_H
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
+#include <new>
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/task.h"
@@ -36,6 +52,7 @@ class Simulation
 {
   public:
     Simulation() = default;
+    ~Simulation();
 
     Simulation(const Simulation &) = delete;
     Simulation &operator=(const Simulation &) = delete;
@@ -44,19 +61,61 @@ class Simulation
     SimTime now() const { return now_; }
 
     /** Schedule a callback to run at absolute time @p when. */
+    template <typename F>
     void
-    schedule(SimTime when, std::function<void()> fn)
+    schedule(SimTime when, F &&fn)
     {
         if (when < now_)
             throw SimPanic("schedule() into the past");
-        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+        using D = std::decay_t<F>;
+        Event ev;
+        ev.when = when;
+        ev.seq = nextSeq_++;
+        if constexpr (sizeof(D) <= kInlinePayload &&
+                      alignof(D) <= alignof(std::uint64_t) &&
+                      std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>) {
+            // Small trivial callables ride inside the event itself:
+            // no slab traffic, nothing to destroy.
+            ev.kind = Event::kInline;
+            ev.slot = 0;
+            ::new (static_cast<void *>(ev.payload)) D(fn);
+            ev.invoke = [](void *p) {
+                (*std::launder(reinterpret_cast<D *>(p)))();
+            };
+        } else {
+            ev.kind = Event::kSlot;
+            ev.slot = makeSlot(std::forward<F>(fn));
+            ev.invoke = nullptr;
+        }
+        pushEvent(ev);
     }
 
     /** Schedule a callback @p after from now. */
+    template <typename F>
     void
-    scheduleAfter(Duration after, std::function<void()> fn)
+    scheduleAfter(Duration after, F &&fn)
     {
-        schedule(now_ + after, std::move(fn));
+        schedule(now_ + after, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule a coroutine resumption at absolute time @p when. This is
+     * the allocation-free fast path used by delay(), yield() and the
+     * sync.h primitives.
+     */
+    void
+    scheduleResume(SimTime when, std::coroutine_handle<> h)
+    {
+        if (when < now_)
+            throw SimPanic("schedule() into the past");
+        Event ev;
+        ev.when = when;
+        ev.seq = nextSeq_++;
+        ev.kind = Event::kCoroutine;
+        ev.slot = 0;
+        ev.coro = h.address();
+        pushEvent(ev);
     }
 
     /** Awaitable that suspends the coroutine for @p d simulated time. */
@@ -70,7 +129,7 @@ class Simulation
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                sim->schedule(sim->now_ + dur, [h] { h.resume(); });
+                sim->scheduleResume(sim->now_ + dur, h);
             }
 
             void await_resume() const noexcept {}
@@ -117,7 +176,7 @@ class Simulation
         void
         await_suspend(std::coroutine_handle<> h)
         {
-            sim->schedule(sim->now_, [h] { h.resume(); });
+            sim->scheduleResume(sim->now_, h);
         }
 
         void await_resume() const noexcept {}
@@ -126,11 +185,30 @@ class Simulation
     };
 
   private:
+    static constexpr std::uint32_t kNoSlot =
+        std::numeric_limits<std::uint32_t>::max();
+    static constexpr std::size_t kInlinePayload = 16;
+
+    /**
+     * POD event record, tagged by `kind`: a coroutine resumption (the
+     * dominant case), a small trivially-copyable callable carried
+     * inline in `payload`, or an index into the callback slab for
+     * everything else. (when, seq) is the total execution order.
+     */
     struct Event
     {
+        enum Kind : std::uint32_t { kCoroutine, kInline, kSlot };
+
         SimTime when;
         std::uint64_t seq;
-        std::function<void()> fn;
+        Kind kind;
+        std::uint32_t slot;            ///< kSlot: slab index
+        void (*invoke)(void *);        ///< kInline: payload trampoline
+        union {
+            void *coro;                ///< kCoroutine: handle address
+            alignas(std::uint64_t)
+                unsigned char payload[kInlinePayload]; ///< kInline
+        };
     };
 
     struct EventLater
@@ -144,15 +222,131 @@ class Simulation
         }
     };
 
+    /**
+     * One slab slot: inline storage for a small callable (or a
+     * std::function fallback for oversized ones) plus its manually
+     * managed vtable. Slots live in a deque so their addresses are
+     * stable while the slab grows, and are recycled via `nextFree`.
+     */
+    struct CallbackSlot
+    {
+        static constexpr std::size_t kInline = 48;
+
+        alignas(std::max_align_t) unsigned char storage[kInline];
+        void (*invoke)(void *) = nullptr;
+        void (*destroy)(void *) = nullptr;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    template <typename F>
+    std::uint32_t
+    makeSlot(F &&fn)
+    {
+        using D = std::decay_t<F>;
+        std::uint32_t idx;
+        if (freeSlots_ != kNoSlot) {
+            idx = freeSlots_;
+            freeSlots_ = slots_[idx].nextFree;
+        } else {
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        CallbackSlot &s = slots_[idx];
+        try {
+            if constexpr (sizeof(D) <= CallbackSlot::kInline &&
+                          alignof(D) <= alignof(std::max_align_t)) {
+                ::new (static_cast<void *>(s.storage))
+                    D(std::forward<F>(fn));
+                s.invoke = [](void *p) {
+                    (*std::launder(reinterpret_cast<D *>(p)))();
+                };
+                s.destroy = [](void *p) {
+                    std::launder(reinterpret_cast<D *>(p))->~D();
+                };
+            } else {
+                using Big = std::function<void()>;
+                ::new (static_cast<void *>(s.storage))
+                    Big(std::forward<F>(fn));
+                s.invoke = [](void *p) {
+                    (*std::launder(reinterpret_cast<Big *>(p)))();
+                };
+                s.destroy = [](void *p) {
+                    std::launder(reinterpret_cast<Big *>(p))->~Big();
+                };
+            }
+        } catch (...) {
+            s.nextFree = freeSlots_;
+            freeSlots_ = idx;
+            throw;
+        }
+        return idx;
+    }
+
+    void
+    releaseSlot(std::uint32_t idx)
+    {
+        CallbackSlot &s = slots_[idx];
+        s.destroy(s.storage);
+        s.nextFree = freeSlots_;
+        freeSlots_ = idx;
+    }
+
+    static bool
+    earlier(const Event &a, const Event &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void
+    pushEvent(const Event &ev)
+    {
+        // Same-instant events take the O(1) FIFO; their seq is larger
+        // than anything already heaped at now_, so FIFO == seq order.
+        if (ev.when == now_) {
+            nowQueue_.push_back(ev);
+            return;
+        }
+        // The soonest future event lives in a register, not the heap:
+        // the schedule-one/run-one pattern and any wakeup that becomes
+        // the next event skip the heap entirely.
+        if (!nextValid_) {
+            next_ = ev;
+            nextValid_ = true;
+        } else if (earlier(ev, next_)) {
+            heap_.push(next_);
+            next_ = ev;
+        } else {
+            heap_.push(ev);
+        }
+    }
+
+    void fireEvent(Event &ev);
+
+    SimTime drainUntil(SimTime deadline);
+
     friend struct RootTracker;
 
-    void rethrowPending();
+    void
+    rethrowPending()
+    {
+        if (!errors_.empty()) [[unlikely]]
+            rethrowPendingSlow();
+    }
+
+    void rethrowPendingSlow();
 
     SimTime now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t eventsRun_ = 0;
     int liveTasks_ = 0;
-    std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+    bool nextValid_ = false;
+    Event next_;     ///< minimum of all future events when nextValid_
+    std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+    std::deque<Event> nowQueue_;
+    std::deque<CallbackSlot> slots_;
+    std::uint32_t freeSlots_ = kNoSlot;
     std::vector<std::exception_ptr> errors_;
 };
 

@@ -40,7 +40,7 @@ struct FutureState
     {
         ready = true;
         for (auto h : waiters)
-            sim->schedule(sim->now(), [h] { h.resume(); });
+            sim->scheduleResume(sim->now(), h);
         waiters.clear();
     }
 };
@@ -58,7 +58,7 @@ struct FutureState<void>
     {
         ready = true;
         for (auto h : waiters)
-            sim->schedule(sim->now(), [h] { h.resume(); });
+            sim->scheduleResume(sim->now(), h);
         waiters.clear();
     }
 };
@@ -217,7 +217,7 @@ class Semaphore
             auto h = waiters_.front();
             waiters_.pop_front();
             // The permit is handed directly to the waiter.
-            sim_->schedule(sim_->now(), [h] { h.resume(); });
+            sim_->scheduleResume(sim_->now(), h);
         } else {
             ++count_;
         }
@@ -288,7 +288,7 @@ class Condition
         if (!waiters_.empty()) {
             auto h = waiters_.front();
             waiters_.pop_front();
-            sim_->schedule(sim_->now(), [h] { h.resume(); });
+            sim_->scheduleResume(sim_->now(), h);
         }
     }
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Golden determinism test for the hot paths.
+ *
+ * Runs a fixed mixed workload — demand faults through a segment
+ * manager, copy-on-write resolution through a bound region, charged
+ * migrations, flag edits, attribute queries, copyIn/copyOut, channel
+ * hand-off and yields — and asserts that the event count, final
+ * simulated time and every kernel statistic are *exactly* the values
+ * captured from the seed implementation. Any engine or page-table
+ * change that alters observable simulation behaviour (event order,
+ * timing, fault counts) fails this test byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+#include "sim/sync.h"
+
+namespace vpp {
+namespace {
+
+using kernel::AccessType;
+using kernel::Kernel;
+using kernel::PageIndex;
+using kernel::Process;
+using kernel::SegmentId;
+using sim::usec;
+namespace flag = kernel::flag;
+
+hw::MachineConfig
+goldenMachine()
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20; // 4096 frames
+    return m;
+}
+
+struct GoldenResult
+{
+    std::uint64_t eventsRun;
+    sim::SimTime finalTime;
+    Kernel::Stats stats;
+    std::uint64_t p1Faults;
+    std::uint64_t p2Faults;
+};
+
+GoldenResult
+runGoldenWorkload()
+{
+    sim::Simulation s;
+    Kernel kern(s, goldenMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(1024, 512);
+
+    SegmentId heap =
+        kern.createSegmentNow("heap", 4096, 1 << 16, 1, &manager);
+
+    // A read-only "file" image plus a copy-on-write shadow of it.
+    SegmentId file = kern.createSegmentNow("file", 4096, 64, 1, &manager);
+    kern.migratePagesNow(kernel::kPhysSegment, file, 2000, 0, 64,
+                         flag::kReadable, flag::kWritable);
+    SegmentId shadow =
+        kern.createSegmentNow("shadow", 4096, 64, 1, &manager);
+    kern.bindRegionNow(shadow, 0, 64, file, 0, flag::kProtMask, true);
+
+    Process p1("p1", 1);
+    Process p2("p2", 1);
+    p1.setAddressSpace(heap);
+
+    sim::Channel<int> ch(s);
+
+    // Worker 1: demand-faults a strided working set on the heap, with
+    // periodic delays and yields, then streams data in and out.
+    s.spawn([](sim::Simulation &sm, Kernel &k, Process &p, SegmentId seg,
+               sim::Channel<int> &done) -> sim::Task<> {
+        for (int i = 0; i < 200; ++i) {
+            PageIndex page = static_cast<PageIndex>((i * 7) % 256);
+            AccessType a =
+                i % 3 == 0 ? AccessType::Read : AccessType::Write;
+            co_await k.touchSegment(p, seg, page, a);
+            if (i % 17 == 0)
+                co_await sm.delay(usec(3));
+            if (i % 5 == 0)
+                co_await sm.yield();
+        }
+        std::vector<std::byte> buf(10000, std::byte{0x5a});
+        co_await k.copyIn(p, 4096 * 300, buf);
+        co_await k.copyOut(p, 4096 * 300, buf);
+        done.send(1);
+    }(s, kern, p1, heap, ch));
+
+    // Worker 2: reads the whole shadow (faulting pages through the
+    // binding), then writes half of it (copy-on-write resolution).
+    s.spawn([](sim::Simulation &sm, Kernel &k, Process &p,
+               SegmentId seg) -> sim::Task<> {
+        for (PageIndex i = 0; i < 64; ++i) {
+            co_await k.touchSegment(p, seg, i, AccessType::Read);
+            if (i % 4 == 0)
+                co_await sm.yield();
+        }
+        for (PageIndex i = 0; i < 32; ++i) {
+            co_await k.touchSegment(p, seg, i * 2, AccessType::Write);
+            if (i % 7 == 0)
+                co_await sm.delay(usec(1));
+        }
+    }(s, kern, p2, shadow));
+
+    // Worker 3: waits for worker 1, then exercises the charged
+    // migration / flag / attribute paths on scratch segments.
+    s.spawn([](sim::Simulation &sm, Kernel &k,
+               sim::Channel<int> &done) -> sim::Task<> {
+        (void)co_await done.recv();
+        SegmentId a = co_await k.createSegment("scratch-a", 4096, 256,
+                                               kernel::kSystemUser);
+        SegmentId b = co_await k.createSegment("scratch-b", 4096, 256,
+                                               kernel::kSystemUser);
+        co_await k.migratePages(kernel::kPhysSegment, a, 3000, 0, 128,
+                                0, 0);
+        for (int round = 0; round < 4; ++round) {
+            if (round % 2 == 0)
+                co_await k.migratePages(a, b, 0, 0, 128, 0, 0);
+            else
+                co_await k.migratePages(b, a, 0, 0, 128, 0, 0);
+            co_await sm.delay(usec(2));
+        }
+        co_await k.modifyPageFlags(b, 0, 128, flag::kPinned, 0);
+        auto attrs = co_await k.getPageAttributes(b, 0, 128);
+        if (attrs.size() != 128)
+            throw std::runtime_error("bad attribute count");
+        co_await k.modifyPageFlags(b, 0, 128, 0, flag::kPinned);
+    }(s, kern, ch));
+
+    GoldenResult r;
+    r.finalTime = s.run();
+    r.eventsRun = s.eventsRun();
+    r.stats = kern.stats();
+    r.p1Faults = p1.faults();
+    r.p2Faults = p2.faults();
+
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+    return r;
+}
+
+// Golden values captured from the seed implementation (std::map page
+// tables, std::function event queue) before the hot-path overhaul.
+// These must never drift: the engine and page-table representation are
+// host-side optimisations with no observable simulation effect.
+TEST(Determinism, GoldenMixedWorkload)
+{
+    GoldenResult r = runGoldenWorkload();
+
+    EXPECT_EQ(r.eventsRun, 1297u);
+    EXPECT_EQ(r.finalTime, 38001906);
+
+    EXPECT_EQ(r.stats.faults, 235u);
+    EXPECT_EQ(r.stats.missingFaults, 203u);
+    EXPECT_EQ(r.stats.protectionFaults, 0u);
+    EXPECT_EQ(r.stats.cowFaults, 32u);
+    EXPECT_EQ(r.stats.managerCalls, 235u);
+    EXPECT_EQ(r.stats.migrateCalls, 240u);
+    EXPECT_EQ(r.stats.pagesMigrated, 1451u);
+    EXPECT_EQ(r.stats.modifyFlagCalls, 2u);
+    EXPECT_EQ(r.stats.getAttrCalls, 1u);
+    EXPECT_EQ(r.stats.zeroFills, 0u);
+    EXPECT_EQ(r.stats.bytesZeroed, 0u);
+    EXPECT_EQ(r.stats.bytesCopied, 151072u);
+    EXPECT_EQ(r.stats.segmentsCreated, 6u);
+    EXPECT_EQ(r.stats.tlbMisses, 0u);
+
+    EXPECT_EQ(r.p1Faults, 203u);
+    EXPECT_EQ(r.p2Faults, 32u);
+}
+
+// The workload must also be self-deterministic: two fresh runs in the
+// same process produce identical results.
+TEST(Determinism, RepeatedRunsIdentical)
+{
+    GoldenResult a = runGoldenWorkload();
+    GoldenResult b = runGoldenWorkload();
+    EXPECT_EQ(a.eventsRun, b.eventsRun);
+    EXPECT_EQ(a.finalTime, b.finalTime);
+    EXPECT_EQ(a.stats.faults, b.stats.faults);
+    EXPECT_EQ(a.stats.pagesMigrated, b.stats.pagesMigrated);
+    EXPECT_EQ(a.stats.bytesCopied, b.stats.bytesCopied);
+}
+
+} // namespace
+} // namespace vpp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * PageTable correctness: a randomized differential test against
+ * std::map (the seed's page-table representation), explicit boundary
+ * cases around leaf edges, and the sorted-binding binary search on
+ * Segment (adjacent regions, page 0, last page).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/page_table.h"
+#include "core/segment.h"
+#include "sim/random.h"
+
+using namespace vpp;
+using kernel::Binding;
+using kernel::PageEntry;
+using kernel::PageIndex;
+using kernel::PageTable;
+using kernel::Segment;
+
+namespace {
+
+/** Full-state comparison: size, ordered iteration, maxPage. */
+void
+expectEqual(const PageTable &t, const std::map<PageIndex, PageEntry> &m)
+{
+    ASSERT_EQ(t.size(), m.size());
+    ASSERT_EQ(t.empty(), m.empty());
+    auto mi = m.begin();
+    for (const auto &[page, entry] : t) {
+        ASSERT_NE(mi, m.end());
+        EXPECT_EQ(page, mi->first);
+        EXPECT_EQ(entry.frame, mi->second.frame);
+        EXPECT_EQ(entry.flags, mi->second.flags);
+        ++mi;
+    }
+    EXPECT_EQ(mi, m.end());
+    if (m.empty())
+        EXPECT_FALSE(t.maxPage().has_value());
+    else
+        EXPECT_EQ(t.maxPage(), std::optional(m.rbegin()->first));
+}
+
+TEST(PageTable, DifferentialRandomOps)
+{
+    sim::Random rng(0x9e3779b9);
+    PageTable table;
+    std::map<PageIndex, PageEntry> ref;
+
+    auto randomPage = [&]() -> PageIndex {
+        // Mix dense low pages, one-leaf-wide pages, and sparse high
+        // pages so the directory grows holes.
+        switch (rng.below(3)) {
+          case 0: return rng.below(64);
+          case 1: return rng.below(2 * PageTable::kLeafPages);
+          default: return rng.below(200000);
+        }
+    };
+
+    for (int op = 0; op < 40000; ++op) {
+        PageIndex p = randomPage();
+        switch (rng.below(4)) {
+          case 0: { // insert or overwrite
+            PageEntry e{static_cast<hw::FrameId>(rng.below(1 << 20)),
+                        static_cast<std::uint32_t>(rng.below(256))};
+            table[p] = e;
+            ref[p] = e;
+            break;
+          }
+          case 1: { // erase
+            bool did = table.erase(p);
+            EXPECT_EQ(did, ref.erase(p) == 1);
+            break;
+          }
+          case 2: { // lookup
+            const PageEntry *e = table.find(p);
+            auto it = ref.find(p);
+            ASSERT_EQ(e != nullptr, it != ref.end());
+            if (e) {
+                EXPECT_EQ(e->frame, it->second.frame);
+                EXPECT_EQ(e->flags, it->second.flags);
+            }
+            break;
+          }
+          default: { // operator[] insert-if-absent semantics
+            bool existed = ref.count(p) != 0;
+            PageEntry &e = table[p];
+            PageEntry &r = ref[p];
+            if (!existed) {
+                EXPECT_EQ(e.frame, hw::kInvalidFrame);
+                EXPECT_EQ(e.flags, 0u);
+            }
+            EXPECT_EQ(e.frame, r.frame);
+            break;
+          }
+        }
+        if (op % 2000 == 1999)
+            expectEqual(table, ref);
+    }
+    expectEqual(table, ref);
+
+    table.clear();
+    ref.clear();
+    expectEqual(table, ref);
+}
+
+TEST(PageTable, LeafBoundaries)
+{
+    PageTable t;
+    const PageIndex edges[] = {
+        0,
+        PageTable::kLeafPages - 1,
+        PageTable::kLeafPages,
+        3 * PageTable::kLeafPages - 1,
+        63, 64, 127, 128, // bitmap word edges
+    };
+    std::uint32_t flag = 1;
+    for (PageIndex p : edges)
+        t[p] = PageEntry{static_cast<hw::FrameId>(p), flag++};
+    EXPECT_EQ(t.size(), std::size(edges));
+    for (PageIndex p : edges) {
+        ASSERT_NE(t.find(p), nullptr) << p;
+        EXPECT_EQ(t.find(p)->frame, p);
+    }
+    EXPECT_EQ(t.maxPage(), std::optional<PageIndex>(
+                               3 * PageTable::kLeafPages - 1));
+    // Ascending iteration across leaves and word boundaries.
+    PageIndex prev = 0;
+    bool first = true;
+    std::uint64_t seen = 0;
+    for (const auto &[page, entry] : t) {
+        if (!first) {
+            EXPECT_GT(page, prev);
+        }
+        prev = page;
+        first = false;
+        ++seen;
+    }
+    EXPECT_EQ(seen, std::size(edges));
+    // Erasing the max exposes the next-lower page.
+    EXPECT_TRUE(t.erase(3 * PageTable::kLeafPages - 1));
+    EXPECT_FALSE(t.erase(3 * PageTable::kLeafPages - 1));
+    EXPECT_EQ(t.maxPage(),
+              std::optional<PageIndex>(PageTable::kLeafPages));
+}
+
+TEST(SegmentBindings, AdjacentRegionsResolveExactly)
+{
+    Segment seg(7, "s", 4096, 1000, 1);
+    // Three back-to-back regions [0,10) [10,20) [20,30), inserted out
+    // of order to exercise sorted insertion.
+    Binding b2{10, 10, 102, 0, 0, false};
+    Binding b1{0, 10, 101, 0, 0, false};
+    Binding b3{20, 10, 103, 0, 0, false};
+    seg.addBinding(b2);
+    seg.addBinding(b3);
+    seg.addBinding(b1);
+
+    ASSERT_NE(seg.findBinding(0), nullptr); // page 0
+    EXPECT_EQ(seg.findBinding(0)->target, 101u);
+    EXPECT_EQ(seg.findBinding(9)->target, 101u);
+    EXPECT_EQ(seg.findBinding(10)->target, 102u); // boundary flips
+    EXPECT_EQ(seg.findBinding(19)->target, 102u);
+    EXPECT_EQ(seg.findBinding(20)->target, 103u);
+    EXPECT_EQ(seg.findBinding(29)->target, 103u);
+    EXPECT_EQ(seg.findBinding(30), nullptr); // one past the last
+    EXPECT_EQ(seg.findBinding(999), nullptr);
+
+    // Sorted order survived the out-of-order inserts.
+    ASSERT_EQ(seg.bindings().size(), 3u);
+    EXPECT_EQ(seg.bindings()[0].start, 0u);
+    EXPECT_EQ(seg.bindings()[1].start, 10u);
+    EXPECT_EQ(seg.bindings()[2].start, 20u);
+}
+
+TEST(SegmentBindings, OverlapBoundaries)
+{
+    Segment seg(7, "s", 4096, 1000, 1);
+    seg.addBinding(Binding{100, 50, 9, 0, 0, false}); // [100,150)
+
+    EXPECT_FALSE(seg.overlapsBinding(0, 100));   // ends exactly at start
+    EXPECT_TRUE(seg.overlapsBinding(0, 101));    // one page in
+    EXPECT_TRUE(seg.overlapsBinding(99, 2));
+    EXPECT_TRUE(seg.overlapsBinding(149, 1));    // last covered page
+    EXPECT_FALSE(seg.overlapsBinding(150, 100)); // starts exactly at end
+    EXPECT_TRUE(seg.overlapsBinding(120, 5));    // fully inside
+    EXPECT_TRUE(seg.overlapsBinding(90, 200));   // fully covering
+
+    // A region at page 0 is found by the search-back step.
+    seg.addBinding(Binding{0, 1, 8, 0, 0, false});
+    EXPECT_TRUE(seg.overlapsBinding(0, 1));
+    EXPECT_FALSE(seg.overlapsBinding(1, 99));
+}
+
+TEST(SegmentBindings, TakeBindingAtExactStart)
+{
+    Segment seg(7, "s", 4096, 1000, 1);
+    seg.addBinding(Binding{0, 5, 11, 0, 0, false});
+    seg.addBinding(Binding{5, 5, 12, 0, 0, true});
+
+    EXPECT_FALSE(seg.takeBindingAt(3).has_value()); // inside, not start
+    auto b = seg.takeBindingAt(5);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->target, 12u);
+    EXPECT_TRUE(b->copyOnWrite);
+    EXPECT_EQ(seg.findBinding(5), nullptr);
+    EXPECT_EQ(seg.findBinding(0)->target, 11u);
+
+    auto b0 = seg.takeBindingAt(0); // page 0 start
+    ASSERT_TRUE(b0.has_value());
+    EXPECT_EQ(b0->target, 11u);
+    EXPECT_TRUE(seg.bindings().empty());
+}
+
+} // namespace
