@@ -16,6 +16,7 @@
 
 #include "apps/stack.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -63,30 +64,45 @@ runSampling(std::uint64_t batch, std::uint64_t pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_clock_batch");
     const std::uint64_t pages = 512; // 2 MB heap
+
+    std::vector<std::uint64_t> batches = {1, 2, 4, 8, 16, 32};
+    vppbench::Sweep sweep("ablation_clock_batch", opt);
+    for (std::uint64_t batch : batches) {
+        sweep.add("batch-" + std::to_string(batch), [batch, pages] {
+            SampleResult r = runSampling(batch, pages);
+            vppbench::RowResult out;
+            out.set("sampling_faults",
+                    static_cast<double>(r.samplingFaults));
+            out.set("overhead_ms", r.overheadMs);
+            return out;
+        });
+    }
+    sweep.run();
+
     std::printf("Ablation A6: protection-change batch size vs "
                 "sampling overhead\n(2 MB heap swept sequentially "
                 "after one clock pass)\n\n");
 
     TextTable t({"Batch (pages)", "sampling faults", "sweep cost (ms)",
                  "vs batch=1"});
-    double base = 0;
-    for (std::uint64_t batch : {1, 2, 4, 8, 16, 32}) {
-        SampleResult r = runSampling(batch, pages);
-        if (batch == 1)
-            base = r.overheadMs;
-        t.addRow({std::to_string(batch),
-                  std::to_string(r.samplingFaults),
-                  TextTable::num(r.overheadMs, 1),
-                  TextTable::num((1.0 - r.overheadMs / base) * 100.0,
-                                 1) +
+    double base = sweep.get(0, "overhead_ms");
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        double overhead = sweep.get(i, "overhead_ms");
+        t.addRow({std::to_string(batches[i]),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "sampling_faults"))),
+                  TextTable::num(overhead, 1),
+                  TextTable::num((1.0 - overhead / base) * 100.0, 1) +
                       "%"});
     }
     t.print();
     std::printf("\nLarger batches amortise the separate-process fault "
                 "cost at the price of\ncoarser reference information "
                 "for the clock.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

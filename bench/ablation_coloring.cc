@@ -18,6 +18,7 @@
 #include "hw/cache_model.h"
 #include "sim/random.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -94,29 +95,44 @@ runWalk(bool colored, std::uint32_t working_pages, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_coloring");
+
+    std::vector<std::uint32_t> sets = {8, 12, 16, 24, 32};
+    vppbench::Sweep sweep("ablation_coloring", opt);
+    for (std::uint32_t pages : sets) {
+        sweep.add(std::to_string(pages) + " pages", [pages] {
+            MissResult rnd = runWalk(false, pages, 1234 + pages);
+            MissResult col = runWalk(true, pages, 1234 + pages);
+            vppbench::RowResult r;
+            r.set("random_miss_ratio", rnd.missRatio);
+            r.set("colored_miss_ratio", col.missRatio);
+            r.set("random_misses", static_cast<double>(rnd.misses));
+            r.set("colored_misses", static_cast<double>(col.misses));
+            return r;
+        });
+    }
+    sweep.run();
+
     std::printf("Ablation A2: page coloring vs random frame "
                 "allocation\n64 KB direct-mapped physically-indexed "
                 "cache, 16 colors, 50-pass walk\n\n");
 
     TextTable t({"Working set", "random miss%", "colored miss%",
                  "improvement"});
-    for (std::uint32_t pages : {8, 12, 16, 24, 32}) {
-        MissResult rnd = runWalk(false, pages, 1234 + pages);
-        MissResult col = runWalk(true, pages, 1234 + pages);
-        double improv =
-            rnd.missRatio > 0
-                ? (1.0 - col.missRatio / rnd.missRatio) * 100.0
-                : 0.0;
-        t.addRow({std::to_string(pages) + " pages",
-                  TextTable::num(rnd.missRatio * 100, 2),
-                  TextTable::num(col.missRatio * 100, 2),
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        double rnd = sweep.get(i, "random_miss_ratio");
+        double col = sweep.get(i, "colored_miss_ratio");
+        double improv = rnd > 0 ? (1.0 - col / rnd) * 100.0 : 0.0;
+        t.addRow({sweep.label(i), TextTable::num(rnd * 100, 2),
+                  TextTable::num(col * 100, 2),
                   TextTable::num(improv, 1) + "%"});
     }
     t.print();
     std::printf("\nUp to 16 pages (= the cache size) coloring removes "
                 "all conflict misses;\nbeyond it, collisions are "
                 "inevitable but still evenly spread.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

@@ -18,6 +18,7 @@
 #include "core/kernel.h"
 #include "hw/disk.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -80,30 +81,51 @@ runCollector(bool aware, int cycles, std::uint64_t heap_pages,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_discardable");
+
+    vppbench::Sweep sweep("ablation_discardable", opt);
+    for (bool aware : {true, false}) {
+        sweep.add(aware ? "application-aware" : "conventional",
+                  [aware] {
+                      GcResult g = runCollector(aware, 20, 128, 0.9);
+                      vppbench::RowResult r;
+                      r.set("elapsed_sec", g.elapsedSec);
+                      r.set("disk_writes",
+                            static_cast<double>(g.diskWrites));
+                      r.set("zero_fills",
+                            static_cast<double>(g.zeroFills));
+                      return r;
+                  });
+    }
+    sweep.run();
+
     std::printf("Ablation A4: discardable pages (GC-style workload, "
                 "128-page heap,\n90%% garbage per cycle, 20 "
                 "cycles)\n\n");
 
     TextTable t({"Policy", "elapsed (s)", "disk writes",
                  "zero-fills"});
-    GcResult aware = runCollector(true, 20, 128, 0.9);
-    GcResult oblivious = runCollector(false, 20, 128, 0.9);
-    t.addRow({"application-aware (discard, no re-zero)",
-              TextTable::num(aware.elapsedSec, 2),
-              std::to_string(aware.diskWrites),
-              std::to_string(aware.zeroFills)});
-    t.addRow({"conventional (write back, zero-fill)",
-              TextTable::num(oblivious.elapsedSec, 2),
-              std::to_string(oblivious.diskWrites),
-              std::to_string(oblivious.zeroFills)});
+    const char *labels[] = {"application-aware (discard, no re-zero)",
+                            "conventional (write back, zero-fill)"};
+    for (std::size_t i = 0; i < 2; ++i) {
+        t.addRow({labels[i],
+                  TextTable::num(sweep.get(i, "elapsed_sec"), 2),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "disk_writes"))),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "zero_fills")))});
+    }
     t.print();
 
     std::printf("\nSpeedup from application knowledge: %.1fx elapsed, "
                 "%llu disk writes avoided.\n",
-                oblivious.elapsedSec / aware.elapsedSec,
+                sweep.get(1, "elapsed_sec") /
+                    sweep.get(0, "elapsed_sec"),
                 static_cast<unsigned long long>(
-                    oblivious.diskWrites - aware.diskWrites));
-    return 0;
+                    sweep.get(1, "disk_writes") -
+                    sweep.get(0, "disk_writes")));
+    return vppbench::exitCode(sweep);
 }

@@ -9,10 +9,12 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/kernel.h"
 #include "managers/generic.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -75,34 +77,69 @@ appElapsedSec(hw::ManagerMode mode, int faults, double compute_minstr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_manager_mode");
+
+    vppbench::Sweep sweep("ablation_manager_mode", opt);
+    struct Mode
+    {
+        const char *label;
+        hw::ManagerMode mode;
+        bool viaKernel;
+    };
+    std::vector<Mode> modes = {
+        {"same process, direct resume (R3000)",
+         hw::ManagerMode::SameProcess, false},
+        {"same process, resume via kernel (680x0)",
+         hw::ManagerMode::SameProcess, true},
+        {"separate process (Send/Receive/Reply)",
+         hw::ManagerMode::SeparateProcess, false},
+    };
+    for (const Mode &md : modes) {
+        sweep.add(md.label, [md] {
+            vppbench::RowResult r;
+            r.set("fault_us", faultCost(md.mode, md.viaKernel));
+            return r;
+        });
+    }
+    std::vector<int> faultCounts = {100, 1000, 5000, 20000};
+    for (int faults : faultCounts) {
+        sweep.add("elapsed-" + std::to_string(faults) + "-faults",
+                  [faults] {
+                      vppbench::RowResult r;
+                      r.set("same_sec",
+                            appElapsedSec(hw::ManagerMode::SameProcess,
+                                          faults, 40.0));
+                      r.set("separate_sec",
+                            appElapsedSec(
+                                hw::ManagerMode::SeparateProcess,
+                                faults, 40.0));
+                      return r;
+                  });
+    }
+    sweep.run();
+
     std::printf("Ablation A5: manager execution mode\n\n");
 
     TextTable t({"Configuration", "minimal fault (us)"});
-    t.addRow({"same process, direct resume (R3000)",
-              TextTable::num(
-                  faultCost(hw::ManagerMode::SameProcess, false), 1)});
-    t.addRow({"same process, resume via kernel (680x0)",
-              TextTable::num(
-                  faultCost(hw::ManagerMode::SameProcess, true), 1)});
-    t.addRow({"separate process (Send/Receive/Reply)",
-              TextTable::num(
-                  faultCost(hw::ManagerMode::SeparateProcess, false),
-                  1)});
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+        t.addRow({modes[i].label,
+                  TextTable::num(sweep.get(i, "fault_us"), 1)});
+    }
     t.print();
 
     std::printf("\nEffect on a program taking N faults over 2 s of "
                 "compute:\n\n");
     TextTable e({"Faults", "same-process (s)", "separate (s)",
                  "penalty"});
-    for (int faults : {100, 1000, 5000, 20000}) {
-        double same =
-            appElapsedSec(hw::ManagerMode::SameProcess, faults, 40.0);
-        double sep = appElapsedSec(hw::ManagerMode::SeparateProcess,
-                                   faults, 40.0);
-        e.addRow({std::to_string(faults), TextTable::num(same, 3),
-                  TextTable::num(sep, 3),
+    for (std::size_t i = 0; i < faultCounts.size(); ++i) {
+        std::size_t row = modes.size() + i;
+        double same = sweep.get(row, "same_sec");
+        double sep = sweep.get(row, "separate_sec");
+        e.addRow({std::to_string(faultCounts[i]),
+                  TextTable::num(same, 3), TextTable::num(sep, 3),
                   TextTable::num((sep / same - 1.0) * 100, 1) + "%"});
     }
     e.print();
@@ -110,5 +147,5 @@ main()
                 "fault-intensive programs; the\npaper's default "
                 "manager runs separate, application managers run "
                 "in-process.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

@@ -19,121 +19,167 @@
 #include "managers/generic.h"
 #include "managers/spcm.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
 using sim::TextTable;
 
-int
-main()
+namespace {
+
+struct ClientSpec
 {
-    // --- Proportional share -------------------------------------------
-    {
-        sim::Simulation s;
-        hw::MachineConfig m = hw::decstation5000_200();
-        m.memoryBytes = 64 << 20;
-        kernel::Kernel kern(s, m);
-        mgr::MarketParams params;
-        params.chargePerMBSec = 1.0;
-        params.grantHorizonSec = 1.0;
-        params.savingsTaxPerSec = 0.05;
-        params.freeWhenUncontended = false;
-        mgr::SystemPageCacheManager spcm(kern, params);
+    const char *name;
+    double income;
+};
 
-        struct Client
-        {
-            const char *name;
-            double income;
-            std::unique_ptr<mgr::GenericSegmentManager> mgr;
-            std::uint64_t granted = 0;
-        };
-        std::vector<Client> clients;
-        clients.push_back({"batch-sim (income 8)", 8.0, nullptr});
-        clients.push_back({"dbms (income 4)", 4.0, nullptr});
-        clients.push_back({"editor (income 2)", 2.0, nullptr});
-        for (auto &c : clients) {
-            c.mgr = std::make_unique<mgr::GenericSegmentManager>(
-                kern, c.name, hw::ManagerMode::SameProcess, &spcm, 1);
-            spcm.account(c.mgr->spcmClient()).incomeRate = c.income;
-            runTask(s, c.mgr->init(16384, 0));
-        }
+const std::vector<ClientSpec> kClients = {
+    {"batch-sim (income 8)", 8.0},
+    {"dbms (income 4)", 4.0},
+    {"editor (income 2)", 2.0},
+};
 
-        // Everyone greedily asks for 32 MB; the market limits each to
-        // what its income sustains.
-        s.schedule(sim::sec(5), [] {}); // accrue some income first
-        s.run();
-        for (auto &c : clients)
-            c.granted = runTask(s, c.mgr->requestFrames(8192));
+const char *const kPhases[] = {
+    "start (quiescent, saving)", "saved up",
+    "granted timeslice memory",  "computing (paying)",
+    "timeslice over: paged out", "saving for the next slice",
+};
 
-        std::printf("Ablation A1a: proportional share under the "
-                    "memory market\n(everyone requests 32 MB; charge "
-                    "1 dram/MB-s)\n\n");
-        TextTable t({"Client", "income (drams/s)", "granted (MB)",
-                     "MB per dram/s"});
-        for (auto &c : clients) {
-            double mb = c.granted * 4096.0 / (1 << 20);
-            t.addRow({c.name, TextTable::num(c.income, 0),
-                      TextTable::num(mb, 1),
-                      TextTable::num(mb / c.income, 2)});
-        }
-        t.print();
+/** A1a: everyone requests 32 MB; record what the market grants. */
+vppbench::RowResult
+runProportionalShare()
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    kernel::Kernel kern(s, m);
+    mgr::MarketParams params;
+    params.chargePerMBSec = 1.0;
+    params.grantHorizonSec = 1.0;
+    params.savingsTaxPerSec = 0.05;
+    params.freeWhenUncontended = false;
+    mgr::SystemPageCacheManager spcm(kern, params);
+
+    std::vector<std::unique_ptr<mgr::GenericSegmentManager>> mgrs;
+    for (const ClientSpec &c : kClients) {
+        mgrs.push_back(std::make_unique<mgr::GenericSegmentManager>(
+            kern, c.name, hw::ManagerMode::SameProcess, &spcm, 1));
+        spcm.account(mgrs.back()->spcmClient()).incomeRate = c.income;
+        runTask(s, mgrs.back()->init(16384, 0));
     }
+
+    // Everyone greedily asks for 32 MB; the market limits each to
+    // what its income sustains.
+    s.schedule(sim::sec(5), [] {}); // accrue some income first
+    s.run();
+    vppbench::RowResult r;
+    for (std::size_t i = 0; i < mgrs.size(); ++i) {
+        std::uint64_t granted = runTask(s, mgrs[i]->requestFrames(8192));
+        r.set("granted_frames." + std::to_string(i),
+              static_cast<double>(granted));
+    }
+    return r;
+}
+
+/** A1b: quiescent batch job saves, buys a slice, pays, pages out. */
+vppbench::RowResult
+runBatchSaveAndRun()
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    kernel::Kernel kern(s, m);
+    mgr::MarketParams params;
+    params.chargePerMBSec = 1.0;
+    params.grantHorizonSec = 1.0;
+    params.savingsTaxPerSec = 0.02;
+    params.freeWhenUncontended = false;
+    mgr::SystemPageCacheManager spcm(kern, params);
+
+    mgr::GenericSegmentManager batch(
+        kern, "batch", hw::ManagerMode::SameProcess, &spcm, 1);
+    spcm.account(batch.spcmClient()).incomeRate = 4.0;
+    runTask(s, batch.init(16384, 0));
+
+    vppbench::RowResult r;
+    int snap = 0;
+    auto snapshot = [&] {
+        auto info = runTask(s, spcm.query(batch.spcmClient()));
+        std::string n = std::to_string(snap++);
+        r.set("t_sec." + n, sim::toSec(s.now()));
+        r.set("balance." + n, info.balance);
+        r.set("held_mb." + n,
+              spcm.account(batch.spcmClient()).bytesHeld / 1048576.0);
+    };
+
+    snapshot(); // start (quiescent, saving)
+    s.runUntil(sim::sec(8)); // save 8 s of income
+    snapshot(); // saved up
+    // The §2.4 policy: query the SPCM, size the request to what
+    // the savings can sustain for the planned timeslice.
+    auto info = runTask(s, spcm.query(batch.spcmClient()));
+    double slice_sec = 2.0;
+    std::uint64_t frames = static_cast<std::uint64_t>(
+        (info.balance / slice_sec + 4.0) / 1.0 // drams/MB-s
+        * (1 << 20) / 4096);
+    std::uint64_t got = runTask(s, batch.requestFrames(frames));
+    snapshot(); // granted timeslice memory
+    s.runUntil(sim::sec(10)); // compute for the slice, paying
+    snapshot(); // computing (paying)
+    runTask(s, batch.surrenderFrames(got));
+    snapshot(); // timeslice over: paged out
+    s.runUntil(sim::sec(18));
+    snapshot(); // saving for the next slice
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_market");
+
+    vppbench::Sweep sweep("ablation_market", opt);
+    sweep.add("proportional-share",
+              [] { return runProportionalShare(); });
+    sweep.add("batch-save-and-run",
+              [] { return runBatchSaveAndRun(); });
+    sweep.run();
+
+    // --- Proportional share -------------------------------------------
+    std::printf("Ablation A1a: proportional share under the "
+                "memory market\n(everyone requests 32 MB; charge "
+                "1 dram/MB-s)\n\n");
+    TextTable t({"Client", "income (drams/s)", "granted (MB)",
+                 "MB per dram/s"});
+    for (std::size_t i = 0; i < kClients.size(); ++i) {
+        double granted =
+            sweep.get(0, "granted_frames." + std::to_string(i));
+        double mb = granted * 4096.0 / (1 << 20);
+        t.addRow({kClients[i].name,
+                  TextTable::num(kClients[i].income, 0),
+                  TextTable::num(mb, 1),
+                  TextTable::num(mb / kClients[i].income, 2)});
+    }
+    t.print();
 
     // --- Batch save-and-run ------------------------------------------
-    {
-        sim::Simulation s;
-        hw::MachineConfig m = hw::decstation5000_200();
-        m.memoryBytes = 64 << 20;
-        kernel::Kernel kern(s, m);
-        mgr::MarketParams params;
-        params.chargePerMBSec = 1.0;
-        params.grantHorizonSec = 1.0;
-        params.savingsTaxPerSec = 0.02;
-        params.freeWhenUncontended = false;
-        mgr::SystemPageCacheManager spcm(kern, params);
-
-        mgr::GenericSegmentManager batch(
-            kern, "batch", hw::ManagerMode::SameProcess, &spcm, 1);
-        spcm.account(batch.spcmClient()).incomeRate = 4.0;
-        runTask(s, batch.init(16384, 0));
-
-        std::printf("\nAblation A1b: batch job saves drams, buys a "
-                    "timeslice, pages out\n\n");
-        TextTable t({"t (s)", "phase", "balance (drams)",
-                     "holdings (MB)"});
-        auto snapshot = [&](const char *phase) {
-            auto info = runTask(s, spcm.query(batch.spcmClient()));
-            t.addRow({TextTable::num(sim::toSec(s.now()), 1), phase,
-                      TextTable::num(info.balance, 1),
-                      TextTable::num(
-                          spcm.account(batch.spcmClient()).bytesHeld /
-                              1048576.0,
-                          1)});
-        };
-
-        snapshot("start (quiescent, saving)");
-        s.runUntil(sim::sec(8)); // save 8 s of income
-        snapshot("saved up");
-        // The §2.4 policy: query the SPCM, size the request to what
-        // the savings can sustain for the planned timeslice.
-        auto info = runTask(s, spcm.query(batch.spcmClient()));
-        double slice_sec = 2.0;
-        std::uint64_t frames = static_cast<std::uint64_t>(
-            (info.balance / slice_sec + 4.0) / 1.0 // drams/MB-s
-            * (1 << 20) / 4096);
-        std::uint64_t got =
-            runTask(s, batch.requestFrames(frames));
-        snapshot("granted timeslice memory");
-        s.runUntil(sim::sec(10)); // compute for the slice, paying
-        snapshot("computing (paying)");
-        runTask(s, batch.surrenderFrames(got));
-        snapshot("timeslice over: paged out");
-        s.runUntil(sim::sec(18));
-        snapshot("saving for the next slice");
-        t.print();
-        std::printf("\nThe saved balance buys a burst well above the "
-                    "steady-state share, then\nthe job returns memory "
-                    "before going broke — the §2.4 batch policy.\n");
+    std::printf("\nAblation A1b: batch job saves drams, buys a "
+                "timeslice, pages out\n\n");
+    TextTable u({"t (s)", "phase", "balance (drams)",
+                 "holdings (MB)"});
+    for (std::size_t i = 0; i < std::size(kPhases); ++i) {
+        std::string n = std::to_string(i);
+        u.addRow({TextTable::num(sweep.get(1, "t_sec." + n), 1),
+                  kPhases[i],
+                  TextTable::num(sweep.get(1, "balance." + n), 1),
+                  TextTable::num(sweep.get(1, "held_mb." + n), 1)});
     }
-    return 0;
+    u.print();
+    std::printf("\nThe saved balance buys a burst well above the "
+                "steady-state share, then\nthe job returns memory "
+                "before going broke — the §2.4 batch policy.\n");
+    return vppbench::exitCode(sweep);
 }

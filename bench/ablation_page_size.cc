@@ -13,6 +13,7 @@
 
 #include "core/kernel.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -67,27 +68,47 @@ scan(std::uint32_t page_size, std::uint64_t bytes, int passes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_page_size");
     const std::uint64_t working_set = 2 << 20; // 2 MB
     const int passes = 10;
+
+    std::vector<std::uint32_t> sizes = {4096u, 8192u, 16384u, 65536u};
+    vppbench::Sweep sweep("ablation_page_size", opt);
+    for (std::uint32_t ps : sizes) {
+        sweep.add(std::to_string(ps / 1024) + " KB",
+                  [ps, working_set, passes] {
+                      PageSizeResult r =
+                          scan(ps, working_set, passes);
+                      vppbench::RowResult out;
+                      out.set("tlb_misses",
+                              static_cast<double>(r.tlbMisses));
+                      out.set("refill_us", r.refillUs);
+                      out.set("install_us", r.installUs);
+                      return out;
+                  });
+    }
+    sweep.run();
+
     std::printf("Ablation A8: per-segment page size (64-entry TLB, "
                 "2 MB working set,\n%d scan passes)\n\n",
                 passes);
 
     TextTable t({"Page size", "pages", "TLB misses", "refill cost (us)",
                  "map-install cost (us)"});
-    for (std::uint32_t ps : {4096u, 8192u, 16384u, 65536u}) {
-        PageSizeResult r = scan(ps, working_set, passes);
-        t.addRow({std::to_string(ps / 1024) + " KB",
-                  std::to_string(working_set / ps),
-                  std::to_string(r.tlbMisses),
-                  TextTable::num(r.refillUs, 0),
-                  TextTable::num(r.installUs, 0)});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        t.addRow({sweep.label(i),
+                  std::to_string(working_set / sizes[i]),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "tlb_misses"))),
+                  TextTable::num(sweep.get(i, "refill_us"), 0),
+                  TextTable::num(sweep.get(i, "install_us"), 0)});
     }
     t.print();
     std::printf("\nAt 16 KB the 2 MB set fits the TLB need (128 pages "
                 "-> 64 entries still\nthrash a little; 64 KB fits "
                 "outright) and refill traffic collapses.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

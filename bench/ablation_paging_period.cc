@@ -13,61 +13,96 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "db/study.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using sim::TextTable;
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_paging_period");
+
+    std::vector<int> periods = {250, 500, 1000, 2000};
+    std::vector<std::uint64_t> seeds = {42, 7, 1234};
+
+    vppbench::Sweep sweep("ablation_paging_period", opt);
+    for (int period : periods) {
+        sweep.add("period-" + std::to_string(period), [period] {
+            db::DbParams p;
+            p.durationSec = 200;
+            p.pagingPeriodTxns = period;
+            db::DbResult paging =
+                db::runDbStudy(db::DbConfig::IndexWithPaging, p);
+            db::DbResult regen =
+                db::runDbStudy(db::DbConfig::IndexRegeneration, p);
+            vppbench::RowResult r;
+            r.set("paging_avg_ms", paging.avgMs);
+            r.set("paging_worst_ms", paging.worstMs);
+            r.set("regen_avg_ms", regen.avgMs);
+            r.set("regen_worst_ms", regen.worstMs);
+            return r;
+        });
+    }
+    for (std::uint64_t seed : seeds) {
+        sweep.add("seed-" + std::to_string(seed), [seed] {
+            db::DbParams p;
+            p.durationSec = 200;
+            p.seed = seed;
+            db::DbResult paging =
+                db::runDbStudy(db::DbConfig::IndexWithPaging, p);
+            db::DbResult regen =
+                db::runDbStudy(db::DbConfig::IndexRegeneration, p);
+            db::DbResult mem =
+                db::runDbStudy(db::DbConfig::IndexInMemory, p);
+            vppbench::RowResult r;
+            r.set("paging_avg_ms", paging.avgMs);
+            r.set("paging_worst_ms", paging.worstMs);
+            r.set("regen_avg_ms", regen.avgMs);
+            r.set("inmemory_avg_ms", mem.avgMs);
+            return r;
+        });
+    }
+    sweep.run();
+
     std::printf("Ablation A9: Table 4 sensitivity to the index "
                 "eviction cadence\n(avg / worst response in ms; "
                 "paper's cadence is 500 txns)\n\n");
 
     TextTable t({"Eviction period (txns)", "paging avg", "paging worst",
                  "regen avg", "regen worst", "paging/regen"});
-    for (int period : {250, 500, 1000, 2000}) {
-        db::DbParams p;
-        p.durationSec = 200;
-        p.pagingPeriodTxns = period;
-        db::DbResult paging =
-            db::runDbStudy(db::DbConfig::IndexWithPaging, p);
-        db::DbResult regen =
-            db::runDbStudy(db::DbConfig::IndexRegeneration, p);
-        t.addRow({std::to_string(period),
-                  TextTable::num(paging.avgMs, 0),
-                  TextTable::num(paging.worstMs, 0),
-                  TextTable::num(regen.avgMs, 0),
-                  TextTable::num(regen.worstMs, 0),
-                  TextTable::num(paging.avgMs / regen.avgMs, 1) + "x"});
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        double pavg = sweep.get(i, "paging_avg_ms");
+        double ravg = sweep.get(i, "regen_avg_ms");
+        t.addRow({std::to_string(periods[i]),
+                  TextTable::num(pavg, 0),
+                  TextTable::num(sweep.get(i, "paging_worst_ms"), 0),
+                  TextTable::num(ravg, 0),
+                  TextTable::num(sweep.get(i, "regen_worst_ms"), 0),
+                  TextTable::num(pavg / ravg, 1) + "x"});
     }
     t.print();
 
     std::printf("\nSeed sensitivity at the paper's cadence (500):\n\n");
     TextTable u({"Seed", "paging avg", "paging worst", "regen avg",
                  "in-memory avg"});
-    for (std::uint64_t seed : {42ull, 7ull, 1234ull}) {
-        db::DbParams p;
-        p.durationSec = 200;
-        p.seed = seed;
-        db::DbResult paging =
-            db::runDbStudy(db::DbConfig::IndexWithPaging, p);
-        db::DbResult regen =
-            db::runDbStudy(db::DbConfig::IndexRegeneration, p);
-        db::DbResult mem =
-            db::runDbStudy(db::DbConfig::IndexInMemory, p);
-        u.addRow({std::to_string(seed),
-                  TextTable::num(paging.avgMs, 0),
-                  TextTable::num(paging.worstMs, 0),
-                  TextTable::num(regen.avgMs, 0),
-                  TextTable::num(mem.avgMs, 0)});
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        std::size_t row = periods.size() + i;
+        u.addRow({std::to_string(seeds[i]),
+                  TextTable::num(sweep.get(row, "paging_avg_ms"), 0),
+                  TextTable::num(sweep.get(row, "paging_worst_ms"), 0),
+                  TextTable::num(sweep.get(row, "regen_avg_ms"), 0),
+                  TextTable::num(sweep.get(row, "inmemory_avg_ms"),
+                                 0)});
     }
     u.print();
     std::printf("\nThe order-of-magnitude gap between transparent "
                 "paging and application-\ncontrolled regeneration "
                 "holds across cadences and seeds.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

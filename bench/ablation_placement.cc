@@ -16,6 +16,7 @@
 #include "core/kernel.h"
 #include "hw/numa.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -77,26 +78,48 @@ run(bool placed, int nodes, std::uint64_t pages_per_node)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_placement");
+
+    std::vector<std::uint64_t> perNode = {64, 256, 1024};
+    vppbench::Sweep sweep("ablation_placement", opt);
+    for (std::uint64_t ppn : perNode) {
+        sweep.add(std::to_string(4 * ppn) + " pages", [ppn] {
+            PlacementResult rnd = run(false, 4, ppn);
+            PlacementResult pl = run(true, 4, ppn);
+            vppbench::RowResult r;
+            r.set("oblivious_scan_us", rnd.scanUs);
+            r.set("oblivious_local_frac", rnd.localFrac);
+            r.set("placed_scan_us", pl.scanUs);
+            r.set("placed_local_frac", pl.localFrac);
+            return r;
+        });
+    }
+    sweep.run();
+
     std::printf("Ablation A7: physical placement control (DASH-like, "
                 "4 nodes,\nremote reference 4x local, 4 workers "
                 "scanning their own quarters)\n\n");
     TextTable t({"Working set", "oblivious (us)", "local %",
                  "placed (us)", "local %", "speedup"});
-    for (std::uint64_t ppn : {64, 256, 1024}) {
-        PlacementResult rnd = run(false, 4, ppn);
-        PlacementResult pl = run(true, 4, ppn);
-        t.addRow({std::to_string(4 * ppn) + " pages",
-                  TextTable::num(rnd.scanUs, 0),
-                  TextTable::num(rnd.localFrac * 100, 0) + "%",
-                  TextTable::num(pl.scanUs, 0),
-                  TextTable::num(pl.localFrac * 100, 0) + "%",
-                  TextTable::num(rnd.scanUs / pl.scanUs, 2) + "x"});
+    for (std::size_t i = 0; i < perNode.size(); ++i) {
+        double rndUs = sweep.get(i, "oblivious_scan_us");
+        double plUs = sweep.get(i, "placed_scan_us");
+        t.addRow({sweep.label(i), TextTable::num(rndUs, 0),
+                  TextTable::num(
+                      sweep.get(i, "oblivious_local_frac") * 100, 0) +
+                      "%",
+                  TextTable::num(plUs, 0),
+                  TextTable::num(
+                      sweep.get(i, "placed_local_frac") * 100, 0) +
+                      "%",
+                  TextTable::num(rndUs / plUs, 2) + "x"});
     }
     t.print();
     std::printf("\nWith frames requested by physical range from the "
                 "SPCM, every worker's\nreferences stay node-local, as "
                 "the paper's DASH discussion prescribes.\n");
-    return 0;
+    return vppbench::exitCode(sweep);
 }

@@ -18,6 +18,7 @@
 #include "core/kernel.h"
 #include "hw/disk.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -69,29 +70,96 @@ scanMatrix(std::uint64_t window, std::uint64_t pages,
             mgr.prefetchedPages()};
 }
 
+struct ReclaimResult
+{
+    std::uint64_t diskWrites;
+    double reclaimMs;
+};
+
+/** A3b: reclaim a dirty intermediate, writing back or discarding. */
+ReclaimResult
+reclaimIntermediate(bool discard)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 64 << 20;
+    kernel::Kernel kern(s, m);
+    hw::Disk disk(s, m.diskLatency, m.diskBandwidthMBps);
+    uio::FileServer server(s, disk, sim::usec(200));
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    appmgr::PrefetchingManager mgr(kern, &spcm, 1, server, 0);
+    mgr.initNow(8192, 1024);
+
+    uio::FileId f = server.createFile("intermediate", 256 * 4096);
+    kernel::SegmentId seg = kern.createSegmentNow(
+        "intermediate", 4096, 256, 1, &mgr);
+    mgr.attach(seg, f);
+    kernel::Process proc("sim", 1);
+    for (kernel::PageIndex p = 0; p < 256; ++p) {
+        runTask(s, kern.touchSegment(proc, seg, p,
+                                     kernel::AccessType::Write));
+    }
+    if (discard) {
+        // The manager knows the intermediate will be regenerated:
+        // mark it discardable before reclaiming.
+        kern.modifyPageFlagsNow(seg, 0, 256, flag::kDiscardable, 0);
+    }
+    sim::SimTime t0 = s.now();
+    runTask(s, mgr.reclaimRun(kern, seg, 0, 256));
+    return {disk.writes(), sim::toMsec(s.now() - t0)};
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "ablation_prefetch");
     const std::uint64_t pages = 512; // 2 MB scan
     const sim::Duration compute = sim::msec(20);
+
+    std::vector<std::uint64_t> windows = {0, 1, 2, 4, 8, 16};
+    vppbench::Sweep sweep("ablation_prefetch", opt);
+    for (std::uint64_t w : windows) {
+        sweep.add("window-" + std::to_string(w), [w, pages, compute] {
+            ScanResult r = scanMatrix(w, pages, compute);
+            vppbench::RowResult out;
+            out.set("elapsed_sec", r.elapsedSec);
+            out.set("demand_fills",
+                    static_cast<double>(r.demandFills));
+            out.set("prefetched", static_cast<double>(r.prefetched));
+            return out;
+        });
+    }
+    for (bool discard : {false, true}) {
+        sweep.add(discard ? "reclaim-discard" : "reclaim-writeback",
+                  [discard] {
+                      ReclaimResult r = reclaimIntermediate(discard);
+                      vppbench::RowResult out;
+                      out.set("disk_writes",
+                              static_cast<double>(r.diskWrites));
+                      out.set("reclaim_ms", r.reclaimMs);
+                      return out;
+                  });
+    }
+    sweep.run();
 
     std::printf("Ablation A3a: read-ahead window vs scan time\n"
                 "(512-page out-of-core scan, 20 ms compute per page, "
                 "16 ms disk)\n\n");
     TextTable t({"Window", "elapsed (s)", "demand fills",
                  "prefetched", "vs no-prefetch"});
-    double base = 0;
-    for (std::uint64_t w : {0, 1, 2, 4, 8, 16}) {
-        ScanResult r = scanMatrix(w, pages, compute);
-        if (w == 0)
-            base = r.elapsedSec;
-        t.addRow({std::to_string(w), TextTable::num(r.elapsedSec, 2),
-                  std::to_string(r.demandFills),
-                  std::to_string(r.prefetched),
-                  TextTable::num((1.0 - r.elapsedSec / base) * 100,
-                                 1) +
+    double base = sweep.get(0, "elapsed_sec");
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        double elapsed = sweep.get(i, "elapsed_sec");
+        t.addRow({std::to_string(windows[i]),
+                  TextTable::num(elapsed, 2),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "demand_fills"))),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "prefetched"))),
+                  TextTable::num((1.0 - elapsed / base) * 100, 1) +
                       "%"});
     }
     t.print();
@@ -100,39 +168,14 @@ main()
     std::printf("\nAblation A3b: discarding a dirty intermediate "
                 "matrix saves its writeback\n\n");
     TextTable d({"Policy", "disk writes", "reclaim time (ms)"});
-    for (bool discard : {false, true}) {
-        sim::Simulation s;
-        hw::MachineConfig m = hw::decstation5000_200();
-        m.memoryBytes = 64 << 20;
-        kernel::Kernel kern(s, m);
-        hw::Disk disk(s, m.diskLatency, m.diskBandwidthMBps);
-        uio::FileServer server(s, disk, sim::usec(200));
-        mgr::SystemPageCacheManager spcm(kern, std::nullopt);
-        appmgr::PrefetchingManager mgr(kern, &spcm, 1, server, 0);
-        mgr.initNow(8192, 1024);
-
-        uio::FileId f = server.createFile("intermediate", 256 * 4096);
-        kernel::SegmentId seg = kern.createSegmentNow(
-            "intermediate", 4096, 256, 1, &mgr);
-        mgr.attach(seg, f);
-        kernel::Process proc("sim", 1);
-        for (kernel::PageIndex p = 0; p < 256; ++p) {
-            runTask(s, kern.touchSegment(proc, seg, p,
-                                         kernel::AccessType::Write));
-        }
-        if (discard) {
-            // The manager knows the intermediate will be regenerated:
-            // mark it discardable before reclaiming.
-            kern.modifyPageFlagsNow(seg, 0, 256, flag::kDiscardable,
-                                    0);
-        }
-        sim::SimTime t0 = s.now();
-        runTask(s, mgr.reclaimRun(kern, seg, 0, 256));
-        d.addRow({discard ? "discard (application knows)"
-                          : "write back (oblivious kernel)",
-                  std::to_string(disk.writes()),
-                  TextTable::num(sim::toMsec(s.now() - t0), 0)});
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::size_t row = windows.size() + i;
+        d.addRow({i == 1 ? "discard (application knows)"
+                         : "write back (oblivious kernel)",
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(row, "disk_writes"))),
+                  TextTable::num(sweep.get(row, "reclaim_ms"), 0)});
     }
     d.print();
-    return 0;
+    return vppbench::exitCode(sweep);
 }

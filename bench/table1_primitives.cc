@@ -16,6 +16,7 @@
 #include "baseline/conventional_vm.h"
 #include "managers/generic.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using kernel::runTask;
@@ -137,18 +138,60 @@ ultrixCachedIo(int iters)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "table1_primitives");
     const int iters = 64;
 
-    double fault_same =
-        vppMinimalFault(hw::ManagerMode::SameProcess, iters);
-    double fault_sep =
-        vppMinimalFault(hw::ManagerMode::SeparateProcess, iters);
-    double fault_ultrix = ultrixMinimalFault(iters);
-    double fault_user = ultrixUserFault(iters);
-    IoCosts vpp_io = vppCachedIo(iters);
-    IoCosts ult_io = ultrixCachedIo(iters);
+    vppbench::Sweep sweep("table1_primitives", opt);
+    sweep.add("fault-same-process", [] {
+        vppbench::RowResult r;
+        r.set("fault_us",
+              vppMinimalFault(hw::ManagerMode::SameProcess, iters));
+        return r;
+    });
+    sweep.add("fault-separate-process", [] {
+        vppbench::RowResult r;
+        r.set("fault_us",
+              vppMinimalFault(hw::ManagerMode::SeparateProcess,
+                              iters));
+        return r;
+    });
+    sweep.add("fault-ultrix", [] {
+        vppbench::RowResult r;
+        r.set("fault_us", ultrixMinimalFault(iters));
+        return r;
+    });
+    sweep.add("fault-ultrix-user-handler", [] {
+        vppbench::RowResult r;
+        r.set("fault_us", ultrixUserFault(iters));
+        return r;
+    });
+    sweep.add("cached-io-vpp", [] {
+        IoCosts io = vppCachedIo(iters);
+        vppbench::RowResult r;
+        r.set("read4k_us", io.read4k);
+        r.set("write4k_us", io.write4k);
+        return r;
+    });
+    sweep.add("cached-io-ultrix", [] {
+        IoCosts io = ultrixCachedIo(iters);
+        vppbench::RowResult r;
+        r.set("read4k_us", io.read4k);
+        r.set("write4k_us", io.write4k);
+        return r;
+    });
+    sweep.run();
+
+    double fault_same = sweep.get(0, "fault_us");
+    double fault_sep = sweep.get(1, "fault_us");
+    double fault_ultrix = sweep.get(2, "fault_us");
+    double fault_user = sweep.get(3, "fault_us");
+    IoCosts vpp_io = {sweep.get(4, "read4k_us"),
+                      sweep.get(4, "write4k_us")};
+    IoCosts ult_io = {sweep.get(5, "read4k_us"),
+                      sweep.get(5, "write4k_us")};
 
     std::printf("Table 1: System Primitive Times (microseconds)\n");
     std::printf("DECstation 5000/200 model, 4 KB pages\n\n");
@@ -178,5 +221,20 @@ main()
     std::printf("\nV++ handles a FULL fault (with page transfer) in "
                 "less time than Ultrix\nneeds to bounce one protection "
                 "fault through a user signal handler.\n");
-    return 0;
+
+    // These are the calibration targets (EXPERIMENTS.md): the
+    // composed control paths must land on the paper's numbers
+    // almost exactly.
+    vppbench::PaperCheck check("table1_primitives");
+    check.near("vpp minimal fault", fault_same, 107, 0.02);
+    check.near("default-manager minimal fault", fault_sep, 379, 0.02);
+    check.near("ultrix minimal fault", fault_ultrix, 175, 0.02);
+    check.near("ultrix user-handler fault", fault_user, 152, 0.02);
+    check.near("vpp read 4KB", vpp_io.read4k, 222, 0.02);
+    check.near("vpp write 4KB", vpp_io.write4k, 203, 0.02);
+    check.near("ultrix read 4KB", ult_io.read4k, 211, 0.02);
+    check.near("ultrix write 4KB", ult_io.write4k, 311, 0.02);
+    check.that("full V++ fault beats Ultrix user bounce",
+               fault_same < fault_user);
+    return check.exitCode(sweep);
 }

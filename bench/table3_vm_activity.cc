@@ -14,13 +14,17 @@
 
 #include "apps/workload.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using sim::TextTable;
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "table3_vm_activity");
+
     struct Row
     {
         apps::AppSpec spec;
@@ -39,31 +43,60 @@ main()
     // fault and the Ultrix fault (Table 1: 379 - 175 = 204 us).
     const double delta_us = 379.0 - 175.0;
 
+    vppbench::Sweep sweep("table3_vm_activity", opt);
+    for (const Row &row : rows) {
+        apps::AppSpec spec = row.spec;
+        sweep.add(spec.name, [spec] {
+            hw::MachineConfig m = hw::decstation5000_200();
+            apps::VppStack stack(m);
+            apps::AppRunResult vpp = apps::runOnVpp(stack, spec);
+            vppbench::RowResult r;
+            r.set("manager_calls",
+                  static_cast<double>(vpp.managerCalls));
+            r.set("migrate_calls",
+                  static_cast<double>(vpp.migrateCalls));
+            r.set("elapsed_sec", vpp.elapsedSec);
+            return r;
+        });
+    }
+    sweep.run();
+
     std::printf("Table 3: VM System Activity and Costs\n\n");
     TextTable t({"Program", "Mgr Calls (paper/meas)",
                  "MigratePages (paper/meas)",
                  "Overhead ms (paper/meas)", "%% of elapsed"});
+    vppbench::PaperCheck check("table3_vm_activity");
 
-    for (const Row &row : rows) {
-        hw::MachineConfig m = hw::decstation5000_200();
-        apps::VppStack stack(m);
-        apps::AppRunResult vpp = apps::runOnVpp(stack, row.spec);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        auto calls =
+            static_cast<std::uint64_t>(sweep.get(i, "manager_calls"));
+        auto migrates =
+            static_cast<std::uint64_t>(sweep.get(i, "migrate_calls"));
+        double elapsed = sweep.get(i, "elapsed_sec");
 
-        double overhead_ms =
-            vpp.managerCalls * delta_us / 1000.0;
-        double pct = overhead_ms / (vpp.elapsedSec * 1000.0) * 100.0;
+        double overhead_ms = calls * delta_us / 1000.0;
+        double pct = overhead_ms / (elapsed * 1000.0) * 100.0;
 
         t.addRow({row.spec.name,
                   std::to_string(row.paperCalls) + " / " +
-                      std::to_string(vpp.managerCalls),
+                      std::to_string(calls),
                   std::to_string(row.paperMigrates) + " / " +
-                      std::to_string(vpp.migrateCalls),
+                      std::to_string(migrates),
                   std::to_string(row.paperOverheadMs) + " / " +
                       TextTable::num(overhead_ms, 0),
                   TextTable::num(pct, 2)});
+
+        check.near(row.spec.name + " manager calls",
+                   static_cast<double>(calls), row.paperCalls, 0.10);
+        check.near(row.spec.name + " migrate calls",
+                   static_cast<double>(migrates), row.paperMigrates,
+                   0.10);
+        check.near(row.spec.name + " overhead ms", overhead_ms,
+                   row.paperOverheadMs, 0.10);
     }
     t.print();
     std::printf("\nPaper percentages: diff 1.9%%, uncompress 0.63%%, "
                 "latex 0.35%%.\n");
-    return 0;
+    return check.exitCode(sweep);
 }

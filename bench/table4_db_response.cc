@@ -14,13 +14,17 @@
 
 #include "db/study.h"
 #include "sim/table.h"
+#include "sweep.h"
 
 using namespace vpp;
 using sim::TextTable;
 
 int
-main()
+main(int argc, char **argv)
 {
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "table4_db_response");
+
     struct Row
     {
         db::DbConfig config;
@@ -36,6 +40,22 @@ main()
 
     db::DbParams params;
 
+    vppbench::Sweep sweep("table4_db_response", opt);
+    for (const Row &row : rows) {
+        db::DbConfig config = row.config;
+        sweep.add(db::dbConfigName(config), [config, params] {
+            db::DbResult r = db::runDbStudy(config, params);
+            vppbench::RowResult out;
+            out.set("avg_ms", r.avgMs);
+            out.set("worst_ms", r.worstMs);
+            out.set("p99_ms", r.p99Ms);
+            out.set("txns", static_cast<double>(r.txns));
+            out.set("cpu_utilization", r.cpuUtilization);
+            return out;
+        });
+    }
+    sweep.run();
+
     std::printf("Table 4: Effect of Memory Usage on Transaction "
                 "Response (ms)\n");
     std::printf("6 CPUs, 120 MB database, 40 TPS, 95%% DebitCredit / "
@@ -45,16 +65,43 @@ main()
     TextTable t({"Configuration", "Avg (paper)", "Avg (measured)",
                  "Worst (paper)", "Worst (measured)", "CPU util",
                  "txns"});
+    vppbench::PaperCheck check("table4_db_response");
 
-    for (const Row &row : rows) {
-        db::DbResult r = db::runDbStudy(row.config, params);
-        t.addRow({r.config, std::to_string(row.paperAvg),
-                  TextTable::num(r.avgMs, 0),
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        double avg = sweep.get(i, "avg_ms");
+        double worst = sweep.get(i, "worst_ms");
+        t.addRow({sweep.label(i), std::to_string(row.paperAvg),
+                  TextTable::num(avg, 0),
                   std::to_string(row.paperWorst),
-                  TextTable::num(r.worstMs, 0),
-                  TextTable::num(r.cpuUtilization * 100, 0) + "%",
-                  std::to_string(r.txns)});
+                  TextTable::num(worst, 0),
+                  TextTable::num(sweep.get(i, "cpu_utilization") * 100,
+                                 0) +
+                      "%",
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "txns")))});
+
+        // Averages track the paper within a third; worst cases are
+        // open-arrival tail samples (EXPERIMENTS.md explains our
+        // heavier no-index tail), so the gate there is loose.
+        check.near(sweep.label(i) + " avg response", avg,
+                   row.paperAvg, 0.35);
+        check.near(sweep.label(i) + " worst response", worst,
+                   row.paperWorst, 0.75);
     }
+
+    // The paper's qualitative claims, checked exactly.
+    double noidx = sweep.get(0, "avg_ms");
+    double mem = sweep.get(1, "avg_ms");
+    double paging = sweep.get(2, "avg_ms");
+    double regen = sweep.get(3, "avg_ms");
+    check.that("index cuts response >10x when memory available",
+               noidx > 10 * mem);
+    check.that("paging destroys most of the index benefit",
+               paging > 5 * mem);
+    check.that("regeneration recovers most of the loss",
+               regen < paging / 5 && regen < 2.5 * mem);
+
     t.print();
 
     std::printf(
@@ -63,5 +110,5 @@ main()
         "index-in-memory; paging loses\nmost of the index's benefit "
         "even though the program exceeds its allocation\nby less than "
         "1%%.\n");
-    return 0;
+    return check.exitCode(sweep);
 }

@@ -8,6 +8,9 @@
 #              host timing on shared machines is noisy, so keep this
 #              generous and rely on the trajectory, not single runs).
 #
+# Set CHECK_PERF_SKIP_BUILD=1 to reuse an already-built relbench tree
+# (scripts/run_all_benches.sh --perf does this after its own build).
+#
 # Exit status: 0 if every benchmark is within tolerance of the
 # baseline (new benchmarks absent from the baseline are reported but
 # do not fail), 1 otherwise.
@@ -31,8 +34,11 @@ if [ ! -f "$baseline" ]; then
     exit 1
 fi
 
-cmake --preset relbench -S "$repo" >/dev/null
-cmake --build --preset relbench --target microbench_host -j >/dev/null
+if [ "${CHECK_PERF_SKIP_BUILD:-0}" != "1" ]; then
+    cmake --preset relbench -S "$repo" >/dev/null
+    cmake --build --preset relbench --target microbench_host -j \
+        >/dev/null
+fi
 
 (cd "$repo/build-relbench" &&
      ./bench/microbench_host \

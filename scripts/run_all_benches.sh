@@ -1,0 +1,121 @@
+#!/bin/sh
+# Full-evaluation sweep: build the relbench preset, run every table
+# and ablation bench through the parallel sweep runner, and diff each
+# bench's --json metrics and stdout table against the committed
+# baselines in bench/baselines/. Because every simulated measurement
+# is deterministic and the runner collects results in submission
+# order, the outputs are byte-identical for any --jobs value — so a
+# plain `diff` is the whole regression gate.
+#
+# Usage: scripts/run_all_benches.sh [options]
+#   --jobs N              worker threads per bench (default: VPP_JOBS
+#                         env, else `nproc`)
+#   --update              regenerate bench/baselines/ from this run
+#   --check-determinism   additionally rerun everything with --jobs 1
+#                         and require byte-identical output
+#   --perf                finish with scripts/check_perf.sh (host
+#                         microbenchmark gate), reusing this build
+#
+# Exit status: 0 if every bench exits 0 (paper tolerances hold) and
+# matches its baselines, 1 otherwise.
+
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+jobs="${VPP_JOBS:-}"
+if [ -z "$jobs" ]; then
+    jobs=$(nproc 2>/dev/null || echo 1)
+fi
+update=0
+checkdet=0
+perf=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs) jobs="$2"; shift ;;
+        --jobs=*) jobs="${1#--jobs=}" ;;
+        --update) update=1 ;;
+        --check-determinism) checkdet=1 ;;
+        --perf) perf=1 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+BENCHES="table1_primitives table2_applications table3_vm_activity \
+table4_db_response ablation_manager_mode ablation_coloring \
+ablation_prefetch ablation_discardable ablation_market \
+ablation_clock_batch ablation_placement ablation_page_size \
+ablation_paging_period"
+
+echo "== building relbench preset"
+cmake --preset relbench -S "$repo" >/dev/null
+cmake --build --preset relbench -j >/dev/null
+
+bindir="$repo/build-relbench/bench"
+out="$repo/build-relbench/bench-out"
+baselines="$repo/bench/baselines"
+mkdir -p "$out"
+
+fail=0
+echo "== running $(echo $BENCHES | wc -w) benches with --jobs $jobs"
+for b in $BENCHES; do
+    if ! "$bindir/$b" --jobs "$jobs" --no-progress \
+        --json="$out/$b.json" >"$out/$b.txt" 2>"$out/$b.err"; then
+        echo "FAIL  $b: nonzero exit (paper tolerance or row error)"
+        sed 's/^/      /' "$out/$b.err"
+        fail=1
+        continue
+    fi
+    if [ "$update" = 1 ]; then
+        mkdir -p "$baselines"
+        cp "$out/$b.json" "$baselines/$b.json"
+        cp "$out/$b.txt" "$baselines/$b.txt"
+        echo "UPDATE $b"
+        continue
+    fi
+    status="OK   "
+    if ! diff -q "$baselines/$b.json" "$out/$b.json" >/dev/null 2>&1
+    then
+        echo "FAIL  $b: JSON metrics differ from baseline"
+        diff -u "$baselines/$b.json" "$out/$b.json" | head -20 || true
+        fail=1
+        status=""
+    fi
+    if [ -n "$status" ] &&
+        ! diff -q "$baselines/$b.txt" "$out/$b.txt" >/dev/null 2>&1
+    then
+        echo "FAIL  $b: rendered table differs from baseline"
+        diff -u "$baselines/$b.txt" "$out/$b.txt" | head -20 || true
+        fail=1
+        status=""
+    fi
+    [ -n "$status" ] && echo "$status $b"
+done
+
+if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
+    echo "== determinism check: rerunning with --jobs 1"
+    for b in $BENCHES; do
+        "$bindir/$b" --jobs 1 --no-progress \
+            --json="$out/$b.j1.json" >"$out/$b.j1.txt" 2>/dev/null ||
+            { echo "FAIL  $b: jobs=1 rerun exited nonzero"; fail=1; }
+        if ! cmp -s "$out/$b.json" "$out/$b.j1.json" ||
+            ! cmp -s "$out/$b.txt" "$out/$b.j1.txt"; then
+            echo "FAIL  $b: output differs between --jobs $jobs and --jobs 1"
+            fail=1
+        fi
+    done
+    [ "$fail" = 0 ] && echo "OK    all benches byte-identical at --jobs 1 and --jobs $jobs"
+fi
+
+if [ "$perf" = 1 ] && [ "$fail" = 0 ]; then
+    echo "== host microbenchmark gate"
+    CHECK_PERF_SKIP_BUILD=1 "$repo/scripts/check_perf.sh"
+fi
+
+if [ "$fail" = 0 ]; then
+    echo "PASS: full evaluation reproduced"
+else
+    echo "FAIL: see above" >&2
+fi
+exit "$fail"

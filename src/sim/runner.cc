@@ -1,0 +1,175 @@
+#include "sim/runner.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "sim/mem_accounting.h"
+
+namespace vpp::sim {
+
+unsigned
+Runner::defaultJobs()
+{
+    if (const char *env = std::getenv("VPP_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc != 0 ? hc : 1;
+}
+
+Runner::Runner(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    queues_.resize(threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+Runner::~Runner()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+std::size_t
+Runner::submit(std::function<void()> job)
+{
+    std::size_t index;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        index = submitted_++;
+        slots_.emplace_back();
+        queues_[nextQueue_].push_back(Entry{index, std::move(job)});
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    }
+    workCv_.notify_one();
+    return index;
+}
+
+void
+Runner::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this] { return doneJobs_ == submitted_; });
+}
+
+std::size_t
+Runner::jobCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return submitted_;
+}
+
+const RunSlot &
+Runner::slot(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return slots_.at(i);
+}
+
+std::size_t
+Runner::failedCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return failed_;
+}
+
+bool
+Runner::takeWork(unsigned self, Entry &out)
+{
+    // Own work first, oldest first.
+    if (!queues_[self].empty()) {
+        out = std::move(queues_[self].front());
+        queues_[self].pop_front();
+        return true;
+    }
+    // Steal from the back of the fullest other deque.
+    std::size_t victim = queues_.size();
+    std::size_t best = 0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (q != self && queues_[q].size() > best) {
+            best = queues_[q].size();
+            victim = q;
+        }
+    }
+    if (victim == queues_.size())
+        return false;
+    out = std::move(queues_[victim].back());
+    queues_[victim].pop_back();
+    return true;
+}
+
+void
+Runner::workerLoop(unsigned self)
+{
+    for (;;) {
+        Entry e;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [this, self] {
+                if (stop_)
+                    return true;
+                for (const auto &q : queues_)
+                    if (!q.empty())
+                        return true;
+                return false;
+            });
+            if (!takeWork(self, e)) {
+                if (stop_)
+                    return;
+                continue;
+            }
+        }
+        runOne(e);
+    }
+}
+
+void
+Runner::runOne(Entry &e)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::int64_t base = mem::threadCurrentBytes();
+    mem::resetThreadPeak();
+
+    std::exception_ptr err;
+    try {
+        e.fn();
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    std::int64_t peak =
+        mem::hooksActive() ? mem::threadPeakBytes() - base : -1;
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        RunSlot &s = slots_[e.index];
+        s.done = true;
+        s.error = err;
+        s.hostSeconds = secs;
+        s.peakHeapBytes = peak;
+        if (err)
+            ++failed_;
+        ++doneJobs_;
+        if (progress_)
+            progress_(doneJobs_, submitted_);
+        if (doneJobs_ == submitted_)
+            idleCv_.notify_all();
+    }
+}
+
+} // namespace vpp::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel sweep runner: a fixed thread pool executing independent
+ * simulation jobs with bit-identical results regardless of the
+ * thread count.
+ *
+ * The paper's evaluation is a sweep of independent simulated-machine
+ * runs (per application, per manager configuration, per DB
+ * scenario). Each run is single-threaded and deterministic; the
+ * sweep's throughput therefore comes from running many instances
+ * concurrently, never from threading one instance. The Runner gives
+ * every submitted job a slot indexed by submission order: jobs
+ * construct their own Simulation + machine + kernel, share no
+ * mutable state, and write their result into their own slot, so
+ * rendering the slots in order after wait() produces byte-identical
+ * output whether the pool has 1 thread or 64.
+ *
+ * Scheduling is work-stealing over per-worker deques: submit()
+ * round-robins jobs across the deques, a worker pops from the front
+ * of its own deque and, when empty, steals from the back of the
+ * fullest other deque. A job that throws records the exception in
+ * its slot (failed(), error) without taking down the pool or
+ * deadlocking wait().
+ *
+ * Each slot also carries the job's host-side cost: wall seconds on
+ * its worker thread and peak heap bytes above the thread's baseline
+ * (mem_accounting.h) — the per-run memory footprint a parallel
+ * sweep could not get from process-global RSS.
+ */
+
+#ifndef VPP_SIM_RUNNER_H
+#define VPP_SIM_RUNNER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpp::sim {
+
+/** Per-job outcome, indexed by submission order. */
+struct RunSlot
+{
+    bool done = false;
+    std::exception_ptr error;     ///< set if the job threw
+    double hostSeconds = 0;       ///< wall time on the worker thread
+    std::int64_t peakHeapBytes = -1; ///< -1 if accounting unavailable
+
+    bool failed() const { return error != nullptr; }
+};
+
+class Runner
+{
+  public:
+    /**
+     * The default worker count: VPP_JOBS from the environment if set
+     * to a positive integer, else std::thread::hardware_concurrency,
+     * else 1.
+     */
+    static unsigned defaultJobs();
+
+    /** @p threads 0 means defaultJobs(). */
+    explicit Runner(unsigned threads = 0);
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Set a callback fired (under the pool lock) after each job
+     * completes, with (jobs finished, jobs submitted). Set it before
+     * the first submit() — fast jobs can finish immediately.
+     */
+    void setProgress(std::function<void(std::size_t, std::size_t)> f)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        progress_ = std::move(f);
+    }
+
+    /**
+     * Enqueue @p job and return its slot index (== submission
+     * order). The job runs on exactly one worker thread.
+     */
+    std::size_t submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    std::size_t jobCount() const;
+
+    /** Slot for job @p i; stable only once that job is done. */
+    const RunSlot &slot(std::size_t i) const;
+
+    /** Number of finished jobs whose job threw. */
+    std::size_t failedCount() const;
+
+  private:
+    struct Entry
+    {
+        std::size_t index;
+        std::function<void()> fn;
+    };
+
+    void workerLoop(unsigned self);
+    bool takeWork(unsigned self, Entry &out);
+    void runOne(Entry &e);
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    std::vector<std::deque<Entry>> queues_; ///< one per worker
+    std::deque<RunSlot> slots_;             ///< stable addresses
+    std::vector<std::thread> workers_;
+    std::function<void(std::size_t, std::size_t)> progress_;
+    std::size_t submitted_ = 0;
+    std::size_t doneJobs_ = 0;
+    std::size_t failed_ = 0;
+    unsigned nextQueue_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace vpp::sim
+
+#endif // VPP_SIM_RUNNER_H

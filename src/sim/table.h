@@ -35,8 +35,9 @@ class TextTable
         return buf;
     }
 
-    void
-    print(FILE *out = stdout) const
+    /** Render the table to a string (what print() writes). */
+    std::string
+    str() const
     {
         std::vector<std::size_t> w(headers_.size());
         for (std::size_t c = 0; c < headers_.size(); ++c)
@@ -45,21 +46,22 @@ class TextTable
             for (std::size_t c = 0; c < r.size(); ++c)
                 w[c] = std::max(w[c], r[c].size());
 
+        std::string out;
         auto rule = [&] {
             for (std::size_t c = 0; c < w.size(); ++c) {
-                std::fputc('+', out);
-                for (std::size_t i = 0; i < w[c] + 2; ++i)
-                    std::fputc('-', out);
+                out += '+';
+                out.append(w[c] + 2, '-');
             }
-            std::fputs("+\n", out);
+            out += "+\n";
         };
         auto line = [&](const std::vector<std::string> &cells) {
             for (std::size_t c = 0; c < w.size(); ++c) {
                 std::string cell = c < cells.size() ? cells[c] : "";
-                std::fprintf(out, "| %-*s ", static_cast<int>(w[c]),
-                             cell.c_str());
+                out += "| ";
+                out += cell;
+                out.append(w[c] - cell.size() + 1, ' ');
             }
-            std::fputs("|\n", out);
+            out += "|\n";
         };
 
         rule();
@@ -68,6 +70,14 @@ class TextTable
         for (const auto &r : rows_)
             line(r);
         rule();
+        return out;
+    }
+
+    void
+    print(FILE *out = stdout) const
+    {
+        std::string s = str();
+        std::fwrite(s.data(), 1, s.size(), out);
     }
 
   private:

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Determinism under parallelism: a representative sweep (manager
+ * fault costs + a DB study row, i.e. real simulations through the
+ * real kernel) must produce byte-identical collected results,
+ * rendered tables and JSON whether it runs on 1 worker thread or 8.
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/sweep.h"
+#include "core/kernel.h"
+#include "db/study.h"
+#include "managers/generic.h"
+#include "sim/table.h"
+
+using namespace vpp;
+using kernel::runTask;
+
+namespace {
+
+/** Mean simulated cost of one fault through a real manager stack. */
+double
+faultCost(hw::ManagerMode mode, int iters)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 32 << 20;
+    kernel::Kernel kern(s, m);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(kern, "mgr", mode, &spcm, 1);
+    manager.initNow(4096, 512);
+    kernel::SegmentId seg =
+        kern.createSegmentNow("heap", 4096, 512, 1, &manager);
+    kernel::Process proc("bench", 1);
+
+    sim::SimTime t0 = s.now();
+    for (int i = 0; i < iters; ++i) {
+        runTask(s, kern.touchSegment(proc, seg, i,
+                                     kernel::AccessType::Write));
+    }
+    return sim::toUsec(s.now() - t0) / iters;
+}
+
+struct SweepOutput
+{
+    std::vector<vppbench::RowResult> rows;
+    std::string table;
+    std::string json;
+};
+
+SweepOutput
+runRepresentativeSweep(unsigned jobs)
+{
+    vppbench::Options opt;
+    opt.jobs = jobs;
+    opt.progress = false;
+
+    vppbench::Sweep sweep("determinism-sweep", opt);
+    for (int iters : {16, 32, 64}) {
+        sweep.add("same-process-" + std::to_string(iters), [iters] {
+            vppbench::RowResult r;
+            r.set("fault_us",
+                  faultCost(hw::ManagerMode::SameProcess, iters));
+            return r;
+        });
+        sweep.add("separate-process-" + std::to_string(iters),
+                  [iters] {
+                      vppbench::RowResult r;
+                      r.set("fault_us",
+                            faultCost(hw::ManagerMode::SeparateProcess,
+                                      iters));
+                      return r;
+                  });
+    }
+    sweep.add("db-regeneration", [] {
+        db::DbParams p;
+        p.durationSec = 60;
+        db::DbResult res =
+            db::runDbStudy(db::DbConfig::IndexRegeneration, p);
+        vppbench::RowResult r;
+        r.set("avg_ms", res.avgMs);
+        r.set("worst_ms", res.worstMs);
+        r.set("txns", static_cast<double>(res.txns));
+        return r;
+    });
+    sweep.run();
+    EXPECT_TRUE(sweep.ok());
+
+    SweepOutput out;
+    sim::TextTable t({"Row", "first metric"});
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        out.rows.push_back(sweep.at(i));
+        t.addRow({sweep.label(i),
+                  sim::TextTable::num(sweep.at(i).metrics.at(0).second,
+                                      6)});
+    }
+    out.table = t.str();
+    out.json = sweep.jsonStr();
+    return out;
+}
+
+} // namespace
+
+TEST(SweepDeterminism, Jobs1AndJobs8AreByteIdentical)
+{
+    SweepOutput serial = runRepresentativeSweep(1);
+    SweepOutput parallel = runRepresentativeSweep(8);
+
+    // Collected stats structs: exact bit equality, metric by metric.
+    ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+    for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+        const auto &a = serial.rows[i].metrics;
+        const auto &b = parallel.rows[i].metrics;
+        ASSERT_EQ(a.size(), b.size()) << "row " << i;
+        for (std::size_t m = 0; m < a.size(); ++m) {
+            EXPECT_EQ(a[m].first, b[m].first);
+            EXPECT_EQ(std::memcmp(&a[m].second, &b[m].second,
+                                  sizeof(double)),
+                      0)
+                << "row " << i << " metric " << a[m].first;
+        }
+    }
+
+    // Rendered table and JSON: byte-for-byte.
+    EXPECT_EQ(serial.table, parallel.table);
+    EXPECT_EQ(serial.json, parallel.json);
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree)
+{
+    SweepOutput a = runRepresentativeSweep(8);
+    SweepOutput b = runRepresentativeSweep(8);
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_EQ(a.table, b.table);
+}
