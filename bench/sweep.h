@@ -10,8 +10,9 @@
  * hardware_concurrency); results land in slots indexed by
  * declaration order, so the rendered tables and the --json emission
  * are byte-identical regardless of the job count. Progress, per-row
- * host cost (wall seconds + peak heap) and paper-check summaries go
- * to stderr; stdout carries only the deterministic tables.
+ * host cost (wall seconds, peak host heap, and the simulated
+ * machine's committed-memory peak) and paper-check summaries go to
+ * stderr; stdout carries only the deterministic tables.
  *
  * PaperCheck turns a driver into a CI gate: measured values that
  * diverge from the paper beyond tolerance (or failed shape
@@ -32,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "hw/physmem.h"
 #include "sim/runner.h"
 
 namespace vppbench {
@@ -135,6 +137,7 @@ class Sweep
     run()
     {
         results_.assign(jobs_.size(), RowResult{});
+        committedPeak_.assign(jobs_.size(), 0);
         vpp::sim::Runner runner(opt_.jobs);
         if (opt_.progress) {
             runner.setProgress([this](std::size_t d, std::size_t t) {
@@ -145,8 +148,16 @@ class Sweep
                 std::fflush(stderr);
             });
         }
-        for (std::size_t i = 0; i < jobs_.size(); ++i)
-            runner.submit([this, i] { results_[i] = jobs_[i](); });
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            runner.submit([this, i] {
+                // Rows run one at a time per worker thread, so the
+                // thread-local high-water mark, reset at row entry, is
+                // this row's simulated committed-memory peak.
+                vpp::hw::resetThreadCommittedPeak();
+                results_[i] = jobs_[i]();
+                committedPeak_[i] = vpp::hw::threadPeakCommittedBytes();
+            });
+        }
         runner.wait();
 
         failures_ = runner.failedCount();
@@ -167,16 +178,24 @@ class Sweep
                         name_.c_str(), labels_[i].c_str());
                 }
             } else if (opt_.progress) {
+                double committed =
+                    static_cast<double>(committedPeak_[i]) /
+                    (1024.0 * 1024.0);
                 if (s.peakHeapBytes >= 0) {
                     std::fprintf(
                         stderr,
-                        "  %-36s %7.3f s host, peak heap %.1f MB\n",
+                        "  %-36s %7.3f s host, peak heap %.1f MB, "
+                        "sim committed %.1f MB\n",
                         labels_[i].c_str(), s.hostSeconds,
                         static_cast<double>(s.peakHeapBytes) /
-                            (1024.0 * 1024.0));
+                            (1024.0 * 1024.0),
+                        committed);
                 } else {
-                    std::fprintf(stderr, "  %-36s %7.3f s host\n",
-                                 labels_[i].c_str(), s.hostSeconds);
+                    std::fprintf(stderr,
+                                 "  %-36s %7.3f s host, "
+                                 "sim committed %.1f MB\n",
+                                 labels_[i].c_str(), s.hostSeconds,
+                                 committed);
                 }
             }
         }
@@ -263,6 +282,7 @@ class Sweep
     std::vector<std::string> labels_;
     std::vector<std::function<RowResult()>> jobs_;
     std::vector<RowResult> results_;
+    std::vector<std::int64_t> committedPeak_; ///< simulated bytes per row
     std::size_t failures_ = 0;
 };
 

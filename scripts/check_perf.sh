@@ -13,7 +13,10 @@
 #
 # Exit status: 0 if every benchmark is within tolerance of the
 # baseline (new benchmarks absent from the baseline are reported but
-# do not fail), 1 otherwise.
+# do not fail), 1 otherwise. A fixed set of required benchmarks —
+# the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
+# BM_PageInOut) — must be present in the fresh run; their absence
+# fails the gate even if everything that did run was fast enough.
 
 set -eu
 
@@ -62,6 +65,14 @@ def times(path):
 
 base, new = times(base_path), times(new_path)
 failed = []
+
+# Frame-store hot paths must stay benchmarked; a rename or deletion
+# that silently drops one of these would blind the gate.
+required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut"]
+for name in required:
+    if not any(n == name or n.startswith(name + "/") for n in new):
+        print(f"  MISSING {name}: required benchmark not in fresh run")
+        failed.append(name)
 for name, (t_new, unit) in sorted(new.items()):
     if name not in base:
         print(f"  NEW   {name}: {t_new:.1f} {unit} (no baseline)")
@@ -79,7 +90,7 @@ for name, (t_new, unit) in sorted(new.items()):
 
 if failed:
     print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond "
-          f"{tol:.0%}: {', '.join(failed)}")
+          f"{tol:.0%} or missing: {', '.join(failed)}")
     sys.exit(1)
 print(f"\nOK: all benchmarks within {tol:.0%} of baseline")
 EOF

@@ -15,6 +15,9 @@
 #                         and require byte-identical output
 #   --perf                finish with scripts/check_perf.sh (host
 #                         microbenchmark gate), reusing this build
+#   --sanitize            first build the asan preset and run the full
+#                         test suite under AddressSanitizer, then do
+#                         the relbench sweep as usual
 #
 # Exit status: 0 if every bench exits 0 (paper tolerances hold) and
 # matches its baselines, 1 otherwise.
@@ -30,6 +33,7 @@ fi
 update=0
 checkdet=0
 perf=0
+sanitize=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --jobs) jobs="$2"; shift ;;
@@ -37,6 +41,7 @@ while [ $# -gt 0 ]; do
         --update) update=1 ;;
         --check-determinism) checkdet=1 ;;
         --perf) perf=1 ;;
+        --sanitize) sanitize=1 ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
     shift
@@ -47,6 +52,13 @@ table4_db_response ablation_manager_mode ablation_coloring \
 ablation_prefetch ablation_discardable ablation_market \
 ablation_clock_batch ablation_placement ablation_page_size \
 ablation_paging_period"
+
+if [ "$sanitize" = 1 ]; then
+    echo "== sanitize: building asan preset and running tests"
+    cmake --preset asan -S "$repo" >/dev/null
+    cmake --build --preset asan -j >/dev/null
+    ctest --preset asan --output-on-failure
+fi
 
 echo "== building relbench preset"
 cmake --preset relbench -S "$repo" >/dev/null

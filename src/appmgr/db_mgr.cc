@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "uio/paging.h"
+
 namespace vpp::appmgr {
 
 using kernel::Fault;
@@ -127,11 +129,10 @@ DbSegmentManager::fillPage(Kernel &k, const Fault &f,
     if (rel != relationFile_.end()) {
         const std::uint32_t page_size =
             k.segment(f.segment).pageSize();
-        std::vector<std::byte> buf(page_size);
-        co_await server_->readBlock(
-            rel->second,
-            static_cast<std::uint64_t>(dst_page) * page_size, buf);
-        k.writePageData(freeSegment(), free_slot, 0, buf);
+        co_await uio::pageIn(
+            k, *server_, rel->second,
+            static_cast<std::uint64_t>(dst_page) * page_size,
+            freeSegment(), free_slot);
         co_await k.chargeCopy(page_size);
         co_return;
     }
@@ -150,12 +151,9 @@ DbSegmentManager::writeBack(Kernel &k, SegmentId seg, PageIndex page)
     if (rel == relationFile_.end())
         co_return; // indices are never written back
     const std::uint32_t page_size = k.segment(seg).pageSize();
-    std::vector<std::byte> buf(page_size);
-    k.readPageData(seg, page, 0, buf);
-    co_await k.chargeCopy(page_size);
-    co_await server_->writeBlock(
-        rel->second, static_cast<std::uint64_t>(page) * page_size,
-        buf);
+    co_await uio::pageOut(k, *server_, rel->second,
+                          static_cast<std::uint64_t>(page) * page_size,
+                          seg, page);
 }
 
 std::uint32_t

@@ -23,6 +23,7 @@
 
 #include "managers/generic.h"
 #include "uio/file_server.h"
+#include "uio/paging.h"
 
 namespace vpp::appmgr {
 
@@ -59,13 +60,10 @@ class DiscardableManager : public mgr::GenericSegmentManager
               kernel::PageIndex page) override
     {
         const std::uint32_t page_size = k.segment(seg).pageSize();
-        std::vector<std::byte> buf(page_size);
-        k.readPageData(seg, page, 0, buf);
-        co_await k.chargeCopy(page_size);
-        co_await swap_->writeBlock(
-            swapFile_,
+        co_await uio::pageOut(
+            k, *swap_, swapFile_,
             (static_cast<std::uint64_t>(seg) << 24 | page) * page_size,
-            buf);
+            seg, page);
     }
 
     std::uint32_t

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "uio/paging.h"
+
 namespace vpp::appmgr {
 
 using kernel::Fault;
@@ -52,11 +54,9 @@ PrefetchingManager::fillPage(Kernel &k, const Fault &f,
         co_return;
     ++demandFills_;
     const std::uint32_t page_size = k.segment(f.segment).pageSize();
-    std::vector<std::byte> buf(page_size);
-    co_await server_->readBlock(
-        it->second, static_cast<std::uint64_t>(dst_page) * page_size,
-        buf);
-    k.writePageData(freeSegment(), free_slot, 0, buf);
+    co_await uio::pageIn(k, *server_, it->second,
+                         static_cast<std::uint64_t>(dst_page) * page_size,
+                         freeSegment(), free_slot);
     co_await k.chargeCopy(page_size);
 }
 
@@ -67,11 +67,9 @@ PrefetchingManager::writeBack(Kernel &k, SegmentId seg, PageIndex page)
     if (it == backing_.end())
         co_return;
     const std::uint32_t page_size = k.segment(seg).pageSize();
-    std::vector<std::byte> buf(page_size);
-    k.readPageData(seg, page, 0, buf);
-    co_await k.chargeCopy(page_size);
-    co_await server_->writeBlock(
-        it->second, static_cast<std::uint64_t>(page) * page_size, buf);
+    co_await uio::pageOut(k, *server_, it->second,
+                          static_cast<std::uint64_t>(page) * page_size,
+                          seg, page);
 }
 
 sim::Task<>
@@ -97,10 +95,9 @@ PrefetchingManager::prefetchFrom(SegmentId seg, PageIndex first)
         if (run.empty())
             co_return;
         inFlight_.insert({seg, p});
-        std::vector<std::byte> buf(page_size);
-        co_await server_->readBlock(
-            file, static_cast<std::uint64_t>(p) * page_size, buf);
-        k.writePageData(freeSegment(), run[0], 0, buf);
+        co_await uio::pageIn(k, *server_, file,
+                             static_cast<std::uint64_t>(p) * page_size,
+                             freeSegment(), run[0]);
         // The demand fault may have resolved the page while the disk
         // was busy; give the frame back in that case.
         if (!k.segment(seg).findPage(p)) {

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "uio/paging.h"
+
 namespace vpp::appmgr {
 
 using kernel::AccessType;
@@ -153,10 +155,9 @@ SwappableAppManager::fillPage(Kernel &k, const Fault &f,
     if (it == swapped_.end())
         co_return; // never swapped: fresh page
     const std::uint32_t page_size = k.segment(f.segment).pageSize();
-    std::vector<std::byte> buf(page_size);
-    co_await server_->readBlock(swapFile_, it->second * page_size,
-                                buf);
-    k.writePageData(freeSegment(), free_slot, 0, buf);
+    co_await uio::pageIn(k, *server_, swapFile_,
+                         it->second * page_size, freeSegment(),
+                         free_slot);
     co_await k.chargeCopy(page_size);
     swapped_.erase(it);
     ++pagesRestored_;
@@ -166,11 +167,8 @@ sim::Task<>
 SwappableAppManager::writeBack(Kernel &k, SegmentId seg, PageIndex page)
 {
     const std::uint32_t page_size = k.segment(seg).pageSize();
-    std::vector<std::byte> buf(page_size);
-    k.readPageData(seg, page, 0, buf);
-    co_await k.chargeCopy(page_size);
-    co_await server_->writeBlock(
-        swapFile_, swapSlotFor(seg, page) * page_size, buf);
+    co_await uio::pageOut(k, *server_, swapFile_,
+                          swapSlotFor(seg, page) * page_size, seg, page);
 }
 
 } // namespace vpp::appmgr

@@ -90,9 +90,10 @@ ConventionalVm::read(ProcId p, uio::FileId f, std::uint64_t offset,
         co_await sim_->delay(c.syscall + c.bFileLookup);
         if (!file.resident.count(block)) {
             ++stats_.blockFetches;
-            std::vector<std::byte> buf(ioUnit_);
-            co_await server_->readBlock(
-                f, block * static_cast<std::uint64_t>(ioUnit_), buf);
+            // The block's bytes already live on the server; only the
+            // fetch cost is real, so charge it without staging the
+            // data through a scratch buffer.
+            co_await server_->chargeRead(ioUnit_);
             file.resident.insert(block);
         }
         server_->readNow(f, pos, out.subspan(done, n));
@@ -139,11 +140,13 @@ ConventionalVm::closeFile(uio::FileId f)
         co_return;
     for (std::uint64_t block : it->second.dirty) {
         ++stats_.blockWritebacks;
-        std::vector<std::byte> buf(ioUnit_);
-        server_->readNow(f, block * static_cast<std::uint64_t>(ioUnit_),
-                         buf);
-        co_await server_->writeBlock(
-            f, block * static_cast<std::uint64_t>(ioUnit_), buf);
+        // The dirty bytes were published to the server at write();
+        // writeback charges the disk traffic and, like a real
+        // block-granular flush, extends the file to the block edge.
+        std::uint64_t end =
+            (block + 1) * static_cast<std::uint64_t>(ioUnit_);
+        co_await server_->chargeWrite(ioUnit_);
+        server_->resizeFile(f, std::max(server_->fileSize(f), end));
     }
     cache_.erase(it);
 }

@@ -319,8 +319,7 @@ Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
             (new_entries[j].flags | set_flags) & ~clear_flags;
         hw::FrameId base = new_entries[j].frame;
         if (fl & flag::kZeroFill) {
-            for (std::uint32_t f = 0; f < dst_fpp; ++f)
-                memory_.zero(base + f);
+            memory_.zeroRange(base, dst_fpp);
             zeroed += d.pageSize();
             fl &= ~(flag::kZeroFill | flag::kDirty);
         }
@@ -626,8 +625,7 @@ Kernel::deliverFault(Fault f)
             const PageEntry *src = src_seg.findPage(f.cowSourcePage);
             if (src) {
                 const std::uint32_t fpp = framesPerPage(cow_seg);
-                for (std::uint32_t i = 0; i < fpp; ++i)
-                    memory_.copyFrame(dst->frame + i, src->frame + i);
+                memory_.copyRange(dst->frame, src->frame, fpp);
                 co_await chargeCopy(cow_seg.pageSize());
                 dst->flags |= flag::kReadable | flag::kWritable |
                               flag::kDirty;
@@ -763,7 +761,7 @@ Kernel::writePageData(SegmentId seg, PageIndex page, std::uint64_t offset,
         std::uint64_t in_frame = off % fs;
         std::size_t n = std::min<std::size_t>(fs - in_frame,
                                               data.size() - done);
-        std::memcpy(memory_.data(f) + in_frame, data.data() + done, n);
+        std::memcpy(memory_.write(f) + in_frame, data.data() + done, n);
         done += n;
         off += n;
     }

@@ -5,6 +5,31 @@
 
 namespace vpp::hw {
 
+namespace {
+
+thread_local std::int64_t committedBytes = 0;
+thread_local std::int64_t peakCommittedBytes = 0;
+
+} // namespace
+
+std::int64_t
+threadCommittedBytes()
+{
+    return committedBytes;
+}
+
+std::int64_t
+threadPeakCommittedBytes()
+{
+    return peakCommittedBytes;
+}
+
+void
+resetThreadCommittedPeak()
+{
+    peakCommittedBytes = committedBytes;
+}
+
 PhysicalMemory::PhysicalMemory(std::uint64_t bytes, std::uint32_t frame_size)
     : frameSize_(frame_size)
 {
@@ -13,64 +38,80 @@ PhysicalMemory::PhysicalMemory(std::uint64_t bytes, std::uint32_t frame_size)
     if (bytes % frame_size != 0)
         throw std::invalid_argument("memory size not frame-aligned");
     frames_.resize(bytes / frame_size);
+    zeroPage_ = std::make_unique<std::byte[]>(frame_size);
+    std::memset(zeroPage_.get(), 0, frame_size);
+}
+
+PhysicalMemory::~PhysicalMemory()
+{
+    account(-static_cast<std::int64_t>(allocated_));
+    allocated_ = 0;
 }
 
 void
-PhysicalMemory::checkFrame(FrameId f) const
+PhysicalMemory::throwBadFrame()
 {
-    if (f >= frames_.size())
-        throw std::out_of_range("frame id out of range");
-}
-
-std::byte *
-PhysicalMemory::data(FrameId f)
-{
-    checkFrame(f);
-    auto &buf = frames_[f];
-    if (!buf) {
-        buf = std::make_unique<std::byte[]>(frameSize_);
-        std::memset(buf.get(), 0, frameSize_);
-        allocated_ += frameSize_;
-    }
-    return buf.get();
-}
-
-const std::byte *
-PhysicalMemory::peek(FrameId f) const
-{
-    checkFrame(f);
-    return frames_[f].get();
-}
-
-bool
-PhysicalMemory::hasData(FrameId f) const
-{
-    checkFrame(f);
-    return frames_[f] != nullptr;
+    throw std::out_of_range("frame id out of range");
 }
 
 void
-PhysicalMemory::zero(FrameId f)
+PhysicalMemory::account(std::int64_t delta)
 {
-    checkFrame(f);
-    if (frames_[f]) {
-        frames_[f].reset();
-        allocated_ -= frameSize_;
-    }
+    allocated_ += delta;
+    committedBytes += delta;
+    if (committedBytes > peakCommittedBytes)
+        peakCommittedBytes = committedBytes;
 }
 
 void
-PhysicalMemory::copyFrame(FrameId dst, FrameId src)
+PhysicalMemory::zeroRange(FrameId first, std::uint64_t count)
 {
+    if (count == 0)
+        return;
+    checkFrame(first);
+    checkFrame(first + count - 1);
+    for (std::uint64_t i = 0; i < count; ++i)
+        zero(first + i);
+}
+
+void
+PhysicalMemory::copyRange(FrameId dst, FrameId src, std::uint64_t count)
+{
+    if (count == 0)
+        return;
     checkFrame(dst);
+    checkFrame(dst + count - 1);
     checkFrame(src);
-    if (dst == src)
-        return;
-    if (!frames_[src]) {
-        zero(dst);
-        return;
+    checkFrame(src + count - 1);
+    // Frame ranges never overlap in practice (migrations move between
+    // distinct regions), but copy backwards-safe anyway: sharing makes
+    // each per-frame copy order-independent except for exact aliasing.
+    if (dst <= src) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            copyFrame(dst + i, src + i);
+    } else {
+        for (std::uint64_t i = count; i-- > 0;)
+            copyFrame(dst + i, src + i);
     }
-    std::memcpy(data(dst), frames_[src].get(), frameSize_);
+}
+
+BufRef
+PhysicalMemory::shareFrame(FrameId f)
+{
+    checkFrame(f);
+    return frames_[f];
+}
+
+void
+PhysicalMemory::adoptFrame(FrameId f, BufRef buf)
+{
+    checkFrame(f);
+    if (buf && buf.size() != frameSize_)
+        throw std::invalid_argument("adopted buffer is not frame-sized");
+    if (static_cast<bool>(buf) != static_cast<bool>(frames_[f]))
+        account(buf ? frameSize_
+                    : -static_cast<std::int64_t>(frameSize_));
+    frames_[f] = std::move(buf);
 }
 
 } // namespace vpp::hw

@@ -1,12 +1,30 @@
 /**
  * @file
- * Physical memory: a flat array of page frames.
+ * Physical memory: a flat array of page frames over a copy-on-write
+ * frame store.
  *
  * Frames store real bytes so that data actually moves through the
  * system (file contents survive page-out and page-in, copy-on-write
- * copies are observable). Buffers are allocated lazily on first write;
- * a frame with no buffer reads as zeroes, so simulating a 128 MB or
- * 256 MB machine costs host memory only for frames actually dirtied.
+ * copies are observable). Each frame holds a reference to a shared,
+ * immutable-until-written buffer (hw/buf.h) — or no buffer at all, in
+ * which case it reads as zeroes. That makes the simulated data
+ * primitives cheap on the host:
+ *
+ *  - zero(f) drops the frame's reference — O(1), no memset;
+ *  - copyFrame(dst, src) shares src's buffer — O(1), no memcpy;
+ *  - write(f) commits a buffer on demand and breaks any sharing, so
+ *    the first real write after a copy pays the one unavoidable clone.
+ *
+ * The read and write views are split: peek()/readOnly() never commit
+ * or unshare anything, write() does both. shareFrame()/adoptFrame()
+ * expose the frame's buffer as a refcounted handle so the I/O path
+ * (uio/paging.h) can move whole pages between frames and file-server
+ * chunks without copying.
+ *
+ * allocatedDataBytes() counts *simulated* committed bytes — frameSize
+ * per frame that currently holds a buffer, regardless of sharing. The
+ * host footprint (shared buffers counted once) is BufRef's concern;
+ * see BufRef::threadLiveBytes() and sim/mem_accounting.h.
  */
 
 #ifndef VPP_HW_PHYSMEM_H
@@ -17,14 +35,28 @@
 #include <memory>
 #include <vector>
 
+#include "hw/buf.h"
 #include "hw/types.h"
 
 namespace vpp::hw {
+
+/**
+ * Simulated committed bytes across every PhysicalMemory on this
+ * thread: current level and high-water mark since the last reset.
+ * The sweep runner reports the peak per row next to host peak heap.
+ */
+std::int64_t threadCommittedBytes();
+std::int64_t threadPeakCommittedBytes();
+void resetThreadCommittedPeak();
 
 class PhysicalMemory
 {
   public:
     PhysicalMemory(std::uint64_t bytes, std::uint32_t frame_size);
+    ~PhysicalMemory();
+
+    PhysicalMemory(const PhysicalMemory &) = delete;
+    PhysicalMemory &operator=(const PhysicalMemory &) = delete;
 
     std::uint64_t numFrames() const { return frames_.size(); }
     std::uint32_t frameSize() const { return frameSize_; }
@@ -42,29 +74,145 @@ class PhysicalMemory
         return static_cast<FrameId>(a / frameSize_);
     }
 
-    /** Writable view of a frame's bytes; allocates backing on demand. */
-    std::byte *data(FrameId f);
+    // ------------------------------------------------------------------
+    // Read views (never commit, never unshare)
+    // ------------------------------------------------------------------
 
-    /** Read-only view; nullptr if the frame has never been written. */
-    const std::byte *peek(FrameId f) const;
+    /** Read-only view; nullptr if the frame currently reads as zero. */
+    const std::byte *
+    peek(FrameId f) const
+    {
+        checkFrame(f);
+        return frames_[f].data();
+    }
 
-    bool hasData(FrameId f) const;
+    /** Read-only view; the canonical zero page when the frame is zero. */
+    const std::byte *
+    readOnly(FrameId f) const
+    {
+        checkFrame(f);
+        const BufRef &buf = frames_[f];
+        return buf ? buf.data() : zeroPage_.get();
+    }
 
-    /** Zero-fill a frame (drops its backing buffer). */
-    void zero(FrameId f);
+    /** Whether the frame holds committed data (reads non-lazily). */
+    bool
+    hasData(FrameId f) const
+    {
+        checkFrame(f);
+        return static_cast<bool>(frames_[f]);
+    }
 
-    /** Copy the full contents of frame @p src into frame @p dst. */
-    void copyFrame(FrameId dst, FrameId src);
+    /** Whether the frame's buffer is aliased by any other reference. */
+    bool
+    isShared(FrameId f) const
+    {
+        checkFrame(f);
+        return frames_[f].refCount() > 1;
+    }
 
-    /** Host memory currently committed to frame buffers. */
+    // ------------------------------------------------------------------
+    // Write view (commits on demand, breaks sharing)
+    // ------------------------------------------------------------------
+
+    /**
+     * Writable view of a frame's bytes. A zero frame commits a fresh
+     * zeroed buffer; a shared buffer is cloned first so no other
+     * frame or file chunk observes the write.
+     */
+    std::byte *
+    write(FrameId f)
+    {
+        checkFrame(f);
+        BufRef &buf = frames_[f];
+        if (!buf) {
+            buf = BufRef::allocate(frameSize_);
+            account(frameSize_);
+        }
+        return buf.mutate();
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk data primitives
+    // ------------------------------------------------------------------
+
+    /** Zero-fill a frame: drop its buffer reference. O(1). */
+    void
+    zero(FrameId f)
+    {
+        checkFrame(f);
+        if (frames_[f]) {
+            frames_[f].reset();
+            account(-static_cast<std::int64_t>(frameSize_));
+        }
+    }
+
+    /** Zero-fill @p count consecutive frames starting at @p first. */
+    void zeroRange(FrameId first, std::uint64_t count);
+
+    /**
+     * Copy the full contents of frame @p src into frame @p dst by
+     * sharing src's buffer. O(1); the bytes are cloned only when one
+     * side is later written.
+     */
+    void
+    copyFrame(FrameId dst, FrameId src)
+    {
+        checkFrame(dst);
+        checkFrame(src);
+        if (dst == src)
+            return;
+        if (!frames_[src]) {
+            zero(dst);
+            return;
+        }
+        if (!frames_[dst])
+            account(frameSize_);
+        frames_[dst] = frames_[src];
+    }
+
+    /** copyFrame over @p count consecutive frame pairs. */
+    void copyRange(FrameId dst, FrameId src, std::uint64_t count);
+
+    // ------------------------------------------------------------------
+    // Zero-copy I/O handles
+    // ------------------------------------------------------------------
+
+    /** Refcounted handle to the frame's buffer; null for a zero frame. */
+    BufRef shareFrame(FrameId f);
+
+    /**
+     * Point the frame at @p buf (null reads as zero). The buffer must
+     * be exactly frameSize() bytes.
+     */
+    void adoptFrame(FrameId f, BufRef buf);
+
+    /**
+     * Simulated committed bytes: frameSize() per frame holding a
+     * buffer. Shared buffers count once per frame referencing them —
+     * this is the machine's notion of committed memory, not the host
+     * heap.
+     */
     std::uint64_t allocatedDataBytes() const { return allocated_; }
 
   private:
-    void checkFrame(FrameId f) const;
+    void
+    checkFrame(FrameId f) const
+    {
+        if (f >= frames_.size())
+            throwBadFrame();
+    }
+
+    [[noreturn]] static void throwBadFrame();
+
+    /** Track simulated commit/uncommit in allocated_ and the
+     *  thread-local counters behind threadCommittedBytes(). */
+    void account(std::int64_t delta);
 
     std::uint32_t frameSize_;
     std::uint64_t allocated_ = 0;
-    std::vector<std::unique_ptr<std::byte[]>> frames_;
+    std::vector<BufRef> frames_;
+    std::unique_ptr<std::byte[]> zeroPage_;
 };
 
 } // namespace vpp::hw

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "uio/paging.h"
+
 namespace vpp::mgr {
 
 using kernel::AccessType;
@@ -84,11 +86,10 @@ DefaultSegmentManager::fillPage(Kernel &k, const Fault &f,
         static_cast<std::uint64_t>(dst_page) * page_size;
     if (offset >= server_->fileSize(file))
         co_return; // append beyond backing store: nothing to read
-    std::vector<std::byte> buf(page_size);
-    co_await server_->readBlock(file, offset, buf);
+    co_await uio::pageIn(k, *server_, file, offset, freeSegment(),
+                         free_slot);
     if (spcm())
         spcm()->noteIo(spcmClient(), page_size);
-    k.writePageData(freeSegment(), free_slot, 0, buf);
     co_await k.chargeCopy(page_size);
 }
 
@@ -113,11 +114,9 @@ DefaultSegmentManager::writeBack(Kernel &k, SegmentId seg,
     if (file == uio::kInvalidFile)
         co_return; // anonymous pages have no backing store
     const std::uint32_t page_size = k.segment(seg).pageSize();
-    std::vector<std::byte> buf(page_size);
-    k.readPageData(seg, page, 0, buf);
-    co_await k.chargeCopy(page_size);
-    co_await server_->writeBlock(
-        file, static_cast<std::uint64_t>(page) * page_size, buf);
+    co_await uio::pageOut(k, *server_, file,
+                          static_cast<std::uint64_t>(page) * page_size,
+                          seg, page);
     if (spcm())
         spcm()->noteIo(spcmClient(), page_size);
 }
@@ -252,7 +251,6 @@ DefaultSegmentManager::preloadFileNow(uio::FileId f)
     const std::uint32_t page_size = kern().config().pageSize;
     std::uint64_t npages =
         (server_->fileSize(f) + page_size - 1) / page_size;
-    std::vector<std::byte> buf(page_size);
     for (PageIndex p = 0; p < npages; ++p) {
         if (kern().segment(seg).findPage(p))
             continue;
@@ -273,9 +271,9 @@ DefaultSegmentManager::preloadFileNow(uio::FileId f)
             }
         }
         auto run = takeFreeRun(1);
-        server_->readNow(f, static_cast<std::uint64_t>(p) * page_size,
-                         buf);
-        kern().writePageData(freeSegment(), run[0], 0, buf);
+        uio::pageInNow(kern(), *server_, f,
+                       static_cast<std::uint64_t>(p) * page_size,
+                       freeSegment(), run[0]);
         kern().migratePagesNow(freeSegment(), seg, run[0], p, 1,
                                flag::kReadable | flag::kWritable,
                                flag::kDirty | flag::kReferenced);

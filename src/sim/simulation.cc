@@ -4,11 +4,29 @@
 
 namespace vpp::sim {
 
+/** Private-access shim for runRoot's root-frame bookkeeping. */
+struct RootTracker
+{
+    static void
+    add(Simulation &s, void *frame)
+    {
+        s.roots_.insert(frame);
+    }
+
+    static void
+    remove(Simulation &s, void *frame)
+    {
+        s.roots_.erase(frame);
+    }
+};
+
 namespace {
 
 /**
  * Self-destructing coroutine used to own a detached root task. Its frame
- * is released automatically when the wrapped task finishes.
+ * is released automatically when the wrapped task finishes; frames that
+ * never finish (a process blocked forever on a future or lock) stay
+ * registered with the Simulation, which destroys them on teardown.
  */
 struct Detached
 {
@@ -22,11 +40,28 @@ struct Detached
     };
 };
 
+/** Awaitable that hands a coroutine its own handle without suspending. */
+struct SelfHandle
+{
+    std::coroutine_handle<> h;
+    bool await_ready() noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> me) noexcept
+    {
+        h = me;
+        return false;
+    }
+
+    std::coroutine_handle<> await_resume() noexcept { return h; }
+};
+
 Detached
 runRoot(Simulation *sim, Task<> inner, int *live,
         std::vector<std::exception_ptr> *errors)
 {
-    (void)sim;
+    auto self = co_await SelfHandle{};
+    RootTracker::add(*sim, self.address());
     ++*live;
     try {
         co_await std::move(inner);
@@ -34,12 +69,23 @@ runRoot(Simulation *sim, Task<> inner, int *live,
         errors->push_back(std::current_exception());
     }
     --*live;
+    RootTracker::remove(*sim, self.address());
 }
 
 } // namespace
 
 Simulation::~Simulation()
 {
+    // Destroy root frames that never finished (processes still blocked
+    // on a future, lock or channel when the run ended). Each root frame
+    // owns its await chain, so destruction cascades to every suspended
+    // child. Locals' destructors may schedule wakeups; those events are
+    // swept with the queues below, never fired.
+    auto roots = std::move(roots_);
+    roots_.clear();
+    for (void *frame : roots)
+        std::coroutine_handle<>::from_address(frame).destroy();
+
     // Destroy any slab-held callables still queued. Inline payloads
     // are trivially destructible by construction; queued coroutine
     // resumptions are not destroyed here because their frames are

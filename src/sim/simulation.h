@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -348,6 +349,9 @@ class Simulation
     std::deque<CallbackSlot> slots_;
     std::uint32_t freeSlots_ = kNoSlot;
     std::vector<std::exception_ptr> errors_;
+    /// Detached root frames still live; unfinished ones (root tasks
+    /// blocked forever on a future/lock) are destroyed by ~Simulation.
+    std::unordered_set<void *> roots_;
 };
 
 } // namespace vpp::sim

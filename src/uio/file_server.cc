@@ -58,12 +58,48 @@ FileServer::writeNow(FileId f, std::uint64_t offset,
         std::size_t n = std::min<std::size_t>(kChunk - in_chunk,
                                               data.size() - done);
         auto &buf = file.chunks[chunk];
-        if (buf.empty())
-            buf.resize(kChunk);
-        std::memcpy(buf.data() + in_chunk, data.data() + done, n);
+        if (!buf)
+            buf = hw::BufRef::allocate(kChunk);
+        std::memcpy(buf.mutate() + in_chunk, data.data() + done, n);
         done += n;
     }
     file.size = std::max(file.size, offset + data.size());
+}
+
+hw::BufRef
+FileServer::shareNow(FileId f, std::uint64_t offset,
+                     std::uint64_t len) const
+{
+    const File &file = fileOrThrow(f);
+    if (offset % kChunk == 0 && len == kChunk) {
+        auto it = file.chunks.find(offset);
+        return it == file.chunks.end() ? hw::BufRef() : it->second;
+    }
+    hw::BufRef buf = hw::BufRef::allocate(static_cast<std::uint32_t>(len));
+    readNow(f, offset, {buf.mutate(), len});
+    return buf;
+}
+
+void
+FileServer::adoptNow(FileId f, std::uint64_t offset, std::uint64_t len,
+                     hw::BufRef buf)
+{
+    File &file = fileOrThrow(f);
+    if (offset % kChunk != 0 || len != kChunk ||
+        (buf && buf.size() != kChunk)) {
+        if (buf)
+            writeNow(f, offset, {buf.data(), buf.size()});
+        else {
+            std::vector<std::byte> zeros(len);
+            writeNow(f, offset, zeros);
+        }
+        return;
+    }
+    if (buf)
+        file.chunks[offset] = std::move(buf);
+    else
+        file.chunks.erase(offset);
+    file.size = std::max(file.size, offset + len);
 }
 
 } // namespace vpp::uio

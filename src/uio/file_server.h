@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hw/buf.h"
 #include "hw/disk.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
@@ -65,8 +66,7 @@ class FileServer
     readBlock(FileId f, std::uint64_t offset, std::span<std::byte> out)
     {
         readNow(f, offset, out);
-        co_await sim_->delay(requestOverhead_);
-        co_await disk_->read(out.size());
+        co_await chargeRead(out.size());
     }
 
     /** Server write: request overhead + disk access. */
@@ -75,8 +75,23 @@ class FileServer
                std::span<const std::byte> data)
     {
         writeNow(f, offset, data);
+        co_await chargeWrite(data.size());
+    }
+
+    /** The simulated cost of a server read, without the data. */
+    sim::Task<>
+    chargeRead(std::uint64_t bytes)
+    {
         co_await sim_->delay(requestOverhead_);
-        co_await disk_->write(data.size());
+        co_await disk_->read(bytes);
+    }
+
+    /** The simulated cost of a server write, without the data. */
+    sim::Task<>
+    chargeWrite(std::uint64_t bytes)
+    {
+        co_await sim_->delay(requestOverhead_);
+        co_await disk_->write(bytes);
     }
 
     /** Functional read with no simulated time (setup, verification). */
@@ -87,16 +102,36 @@ class FileServer
     void writeNow(FileId f, std::uint64_t offset,
                   std::span<const std::byte> data);
 
+    /**
+     * Refcounted handle to the chunk-aligned range [offset, offset+len)
+     * with no simulated time or byte copy when the range is exactly one
+     * chunk. A null ref means the range reads as zeroes. Unaligned or
+     * multi-chunk ranges fall back to copying into a fresh buffer.
+     */
+    hw::BufRef shareNow(FileId f, std::uint64_t offset,
+                        std::uint64_t len) const;
+
+    /**
+     * Publish @p buf as the file bytes at the chunk-aligned range
+     * [offset, offset+len) — the zero-copy counterpart of writeNow. A
+     * null @p buf stores zeroes (the chunk is dropped, staying sparse).
+     * Unaligned or non-chunk-sized ranges fall back to writeNow.
+     */
+    void adoptNow(FileId f, std::uint64_t offset, std::uint64_t len,
+                  hw::BufRef buf);
+
     hw::Disk &disk() { return *disk_; }
 
   private:
-    static constexpr std::uint64_t kChunk = 64 << 10;
+    // One chunk per page frame, so the paging path (uio/paging.h) can
+    // move whole-chunk buffers between frames and files by reference.
+    static constexpr std::uint64_t kChunk = 4096;
 
     struct File
     {
         std::string name;
         std::uint64_t size = 0;
-        std::map<std::uint64_t, std::vector<std::byte>> chunks;
+        std::map<std::uint64_t, hw::BufRef> chunks;
     };
 
     File &fileOrThrow(FileId f);

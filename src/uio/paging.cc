@@ -1,0 +1,99 @@
+#include "uio/paging.h"
+
+#include <vector>
+
+namespace vpp::uio {
+
+namespace {
+
+kernel::PageEntry &
+entryOrThrow(kernel::Kernel &k, kernel::SegmentId seg,
+             kernel::PageIndex page, const char *what)
+{
+    kernel::PageEntry *e = k.segment(seg).findPage(page);
+    if (!e)
+        throw kernel::KernelError(kernel::KernelErrc::PageMissing, what);
+    return *e;
+}
+
+} // namespace
+
+void
+pageInNow(kernel::Kernel &k, FileServer &srv, FileId f,
+          std::uint64_t offset, kernel::SegmentId seg,
+          kernel::PageIndex page)
+{
+    kernel::PageEntry &e = entryOrThrow(k, seg, page, "pageIn");
+    hw::PhysicalMemory &pm = k.memory();
+    const std::uint32_t fs = pm.frameSize();
+    const std::uint32_t fpp = k.segment(seg).pageSize() / fs;
+    for (std::uint32_t i = 0; i < fpp; ++i)
+        pm.adoptFrame(e.frame + i,
+                      srv.shareNow(f, offset + i * std::uint64_t{fs}, fs));
+}
+
+void
+pageOutNow(kernel::Kernel &k, FileServer &srv, FileId f,
+           std::uint64_t offset, kernel::SegmentId seg,
+           kernel::PageIndex page)
+{
+    kernel::PageEntry &e = entryOrThrow(k, seg, page, "pageOut");
+    hw::PhysicalMemory &pm = k.memory();
+    const std::uint32_t fs = pm.frameSize();
+    const std::uint32_t fpp = k.segment(seg).pageSize() / fs;
+    for (std::uint32_t i = 0; i < fpp; ++i)
+        srv.adoptNow(f, offset + i * std::uint64_t{fs}, fs,
+                     pm.shareFrame(e.frame + i));
+}
+
+sim::Task<>
+pageIn(kernel::Kernel &k, FileServer &srv, FileId f,
+       std::uint64_t offset, kernel::SegmentId seg,
+       kernel::PageIndex page)
+{
+    // Snapshot the file bytes on entry (refcounted, no copy), charge the
+    // transfer, then install — the timeline readBlock-into-a-buffer +
+    // writePageData always had. Copy-on-write keeps the snapshot stable
+    // if the chunks are rewritten during the transfer.
+    hw::PhysicalMemory &pm = k.memory();
+    const std::uint32_t fs = pm.frameSize();
+    const std::uint32_t ps = k.segment(seg).pageSize();
+    const std::uint32_t fpp = ps / fs;
+    std::vector<hw::BufRef> bufs;
+    bufs.reserve(fpp);
+    for (std::uint32_t i = 0; i < fpp; ++i)
+        bufs.push_back(
+            srv.shareNow(f, offset + i * std::uint64_t{fs}, fs));
+    co_await srv.chargeRead(ps);
+    kernel::PageEntry &e = entryOrThrow(k, seg, page, "pageIn");
+    for (std::uint32_t i = 0; i < fpp; ++i)
+        pm.adoptFrame(e.frame + i, std::move(bufs[i]));
+}
+
+sim::Task<>
+pageOut(kernel::Kernel &k, FileServer &srv, FileId f,
+        std::uint64_t offset, kernel::SegmentId seg,
+        kernel::PageIndex page)
+{
+    // Snapshot the page on entry, charge the kernel copy, publish, then
+    // charge the server write — the timeline of readPageData +
+    // chargeCopy + writeBlock.
+    hw::PhysicalMemory &pm = k.memory();
+    const std::uint32_t fs = pm.frameSize();
+    const std::uint32_t ps = k.segment(seg).pageSize();
+    const std::uint32_t fpp = ps / fs;
+    std::vector<hw::BufRef> bufs;
+    bufs.reserve(fpp);
+    {
+        kernel::PageEntry &e = entryOrThrow(k, seg, page, "pageOut");
+        for (std::uint32_t i = 0; i < fpp; ++i)
+            bufs.push_back(pm.shareFrame(e.frame + i));
+    }
+    co_await k.chargeCopy(ps);
+    for (std::uint32_t i = 0; i < fpp; ++i)
+        srv.adoptNow(f, offset + i * std::uint64_t{fs}, fs,
+                     std::move(bufs[i]));
+    co_await srv.chargeWrite(ps);
+}
+
+} // namespace vpp::uio

@@ -55,7 +55,7 @@ TEST(PhysicalMemory, GeometryAndLazyAllocation)
     EXPECT_FALSE(pm.hasData(3));
     EXPECT_EQ(pm.peek(3), nullptr);
 
-    std::byte *d = pm.data(3);
+    std::byte *d = pm.write(3);
     ASSERT_NE(d, nullptr);
     EXPECT_TRUE(pm.hasData(3));
     EXPECT_EQ(pm.allocatedDataBytes(), 4096u);
@@ -75,14 +75,138 @@ TEST(PhysicalMemory, PhysicalAddresses)
 TEST(PhysicalMemory, CopyAndZero)
 {
     PhysicalMemory pm(1 << 20, 4096);
-    std::memset(pm.data(1), 0xAB, 4096);
+    std::memset(pm.write(1), 0xAB, 4096);
     pm.copyFrame(2, 1);
-    EXPECT_EQ(pm.data(2)[100], std::byte{0xAB});
+    EXPECT_EQ(pm.readOnly(2)[100], std::byte{0xAB});
     pm.zero(2);
     EXPECT_FALSE(pm.hasData(2));
     // Copy from a never-written frame zeroes the destination.
     pm.copyFrame(1, 5);
-    EXPECT_EQ(pm.data(1)[100], std::byte{0});
+    EXPECT_EQ(pm.readOnly(1)[100], std::byte{0});
+}
+
+TEST(PhysicalMemory, CopyAliasesUntilWritten)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    std::memset(pm.write(1), 0xAB, 4096);
+    pm.copyFrame(2, 1);
+
+    // The copy shares the source's bytes until someone writes.
+    EXPECT_TRUE(pm.isShared(1));
+    EXPECT_TRUE(pm.isShared(2));
+    EXPECT_EQ(pm.peek(1), pm.peek(2));
+
+    // Writing the copy breaks the sharing and leaves the source
+    // untouched.
+    pm.write(2)[100] = std::byte{0xCD};
+    EXPECT_FALSE(pm.isShared(1));
+    EXPECT_FALSE(pm.isShared(2));
+    EXPECT_NE(pm.peek(1), pm.peek(2));
+    EXPECT_EQ(pm.readOnly(1)[100], std::byte{0xAB});
+    EXPECT_EQ(pm.readOnly(2)[100], std::byte{0xCD});
+    EXPECT_EQ(pm.readOnly(2)[101], std::byte{0xAB});
+}
+
+TEST(PhysicalMemory, WriteSourceOfCopyPreservesCopy)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    std::memset(pm.write(1), 0x11, 4096);
+    pm.copyFrame(2, 1);
+    // Writing the *source* must not mutate the copy either.
+    pm.write(1)[0] = std::byte{0x22};
+    EXPECT_EQ(pm.readOnly(2)[0], std::byte{0x11});
+    EXPECT_EQ(pm.readOnly(1)[0], std::byte{0x22});
+}
+
+TEST(PhysicalMemory, SharedBytesReleasedWithLastReference)
+{
+    std::int64_t before = BufRef::threadLiveBytes();
+    {
+        PhysicalMemory pm(1 << 20, 4096);
+        pm.write(0);
+        for (FrameId f = 1; f < 64; ++f)
+            pm.copyFrame(f, 0);
+        // 64 frames alias one 4 KB buffer on the host.
+        EXPECT_EQ(BufRef::threadLiveBytes() - before, 4096);
+        // ...but each counts as committed simulated memory.
+        EXPECT_EQ(pm.allocatedDataBytes(), 64u * 4096);
+        // Dropping all but one alias frees nothing; the buffer dies
+        // with its last reference.
+        for (FrameId f = 0; f < 63; ++f)
+            pm.zero(f);
+        EXPECT_EQ(BufRef::threadLiveBytes() - before, 4096);
+        EXPECT_EQ(pm.allocatedDataBytes(), 4096u);
+        pm.zero(63);
+        EXPECT_EQ(BufRef::threadLiveBytes(), before);
+        EXPECT_EQ(pm.allocatedDataBytes(), 0u);
+    }
+    EXPECT_EQ(BufRef::threadLiveBytes(), before);
+}
+
+TEST(PhysicalMemory, AllocatedBytesExactThroughAdoptAndRanges)
+{
+    PhysicalMemory pm(64 * 4096, 4096);
+    EXPECT_EQ(pm.allocatedDataBytes(), 0u);
+
+    pm.write(0);
+    pm.write(1);
+    EXPECT_EQ(pm.allocatedDataBytes(), 2u * 4096);
+
+    pm.copyRange(8, 0, 2);
+    EXPECT_EQ(pm.allocatedDataBytes(), 4u * 4096);
+
+    // Copying zero frames over committed ones uncommits them.
+    pm.copyRange(8, 16, 2);
+    EXPECT_EQ(pm.allocatedDataBytes(), 2u * 4096);
+
+    // Adopt commits; adopting null uncommits; re-adopting over a
+    // committed frame is net zero.
+    pm.adoptFrame(5, pm.shareFrame(0));
+    EXPECT_EQ(pm.allocatedDataBytes(), 3u * 4096);
+    pm.adoptFrame(5, pm.shareFrame(1));
+    EXPECT_EQ(pm.allocatedDataBytes(), 3u * 4096);
+    pm.adoptFrame(5, BufRef());
+    EXPECT_EQ(pm.allocatedDataBytes(), 2u * 4096);
+    EXPECT_EQ(pm.shareFrame(5).refCount(), 0u);
+
+    pm.zeroRange(0, 64);
+    EXPECT_EQ(pm.allocatedDataBytes(), 0u);
+}
+
+TEST(PhysicalMemory, AdoptRejectsWrongSize)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    EXPECT_THROW(pm.adoptFrame(0, BufRef::allocate(100)),
+                 std::invalid_argument);
+}
+
+TEST(PhysicalMemory, ReadOnlyViewOfZeroFrameIsZero)
+{
+    PhysicalMemory pm(1 << 20, 4096);
+    const std::byte *z = pm.readOnly(7);
+    ASSERT_NE(z, nullptr);
+    for (int i = 0; i < 4096; ++i)
+        EXPECT_EQ(z[i], std::byte{0});
+    // The zero view never commits the frame.
+    EXPECT_FALSE(pm.hasData(7));
+    EXPECT_EQ(pm.allocatedDataBytes(), 0u);
+}
+
+TEST(PhysicalMemory, ThreadCommittedCountersTrackPeak)
+{
+    resetThreadCommittedPeak();
+    std::int64_t base = threadCommittedBytes();
+    {
+        PhysicalMemory pm(1 << 20, 4096);
+        pm.write(0);
+        pm.write(1);
+        pm.zero(0);
+        EXPECT_EQ(threadCommittedBytes() - base, 4096);
+        EXPECT_EQ(threadPeakCommittedBytes() - base, 2 * 4096);
+    }
+    // Destroying the memory uncommits everything it still held.
+    EXPECT_EQ(threadCommittedBytes(), base);
+    EXPECT_EQ(threadPeakCommittedBytes() - base, 2 * 4096);
 }
 
 TEST(PhysicalMemory, BadGeometryRejected)
@@ -91,7 +215,7 @@ TEST(PhysicalMemory, BadGeometryRejected)
     EXPECT_THROW(PhysicalMemory((1 << 20) + 1, 4096),
                  std::invalid_argument);
     PhysicalMemory pm(1 << 20, 4096);
-    EXPECT_THROW(pm.data(256), std::out_of_range);
+    EXPECT_THROW(pm.write(256), std::out_of_range);
 }
 
 TEST(Disk, LatencyPlusBandwidth)

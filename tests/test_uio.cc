@@ -16,6 +16,7 @@
 #include "managers/spcm.h"
 #include "uio/block_io.h"
 #include "uio/file_server.h"
+#include "uio/paging.h"
 
 namespace vpp::uio {
 namespace {
@@ -71,6 +72,112 @@ TEST(FileServer, TimedAccessCostsDisk)
     // request overhead + positioning + transfer
     EXPECT_EQ(s.now(), usec(200) + sim::msec(16) + usec(2048));
     EXPECT_EQ(disk.reads(), 1u);
+}
+
+TEST(FileServer, ShareAndAdoptAliasChunks)
+{
+    sim::Simulation s;
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+    FileId f = fs.createFile("data", 1 << 20);
+
+    // Unwritten ranges share as null (zero) without materialising.
+    EXPECT_FALSE(fs.shareNow(f, 0, 4096));
+
+    std::vector<std::byte> blob(4096, std::byte{0x42});
+    fs.writeNow(f, 4096, blob);
+    hw::BufRef ref = fs.shareNow(f, 4096, 4096);
+    ASSERT_TRUE(ref);
+    EXPECT_EQ(ref.data()[0], std::byte{0x42});
+    EXPECT_GE(ref.refCount(), 2u); // aliases the stored chunk
+
+    // Rewriting the file clones the chunk: the snapshot is stable.
+    std::vector<std::byte> blob2(4096, std::byte{0x7F});
+    fs.writeNow(f, 4096, blob2);
+    EXPECT_EQ(ref.data()[0], std::byte{0x42});
+    EXPECT_EQ(fs.shareNow(f, 4096, 4096).data()[0], std::byte{0x7F});
+
+    // Adopting a buffer publishes it; adopting null stores zeroes.
+    fs.adoptNow(f, 8192, 4096, ref);
+    std::vector<std::byte> back(4096);
+    fs.readNow(f, 8192, back);
+    EXPECT_EQ(back[0], std::byte{0x42});
+    fs.adoptNow(f, 4096, 4096, hw::BufRef());
+    fs.readNow(f, 4096, back);
+    EXPECT_EQ(back[0], std::byte{0});
+}
+
+TEST(Paging, RoundTripSharesBuffersAndIsolatesWrites)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    kernel::Kernel kern(s, m);
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+    FileId f = fs.createFile("rel", 4 * 4096);
+    std::vector<std::byte> blob(4 * 4096, std::byte{0x5A});
+    fs.writeNow(f, 0, blob);
+
+    kernel::SegmentId seg = kern.createSegmentNow("cache", 4096, 4, 1);
+    kern.migratePagesNow(kernel::kPhysSegment, seg, 0, 0, 4, 0, 0);
+
+    std::int64_t live = hw::BufRef::threadLiveBytes();
+    pageInNow(kern, fs, f, 0, seg, 0);
+    // Page-in shares the file's chunk: no new host bytes.
+    EXPECT_EQ(hw::BufRef::threadLiveBytes(), live);
+    const kernel::PageEntry *e = kern.segment(seg).findPage(0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(kern.memory().peek(e->frame),
+              fs.shareNow(f, 0, 4096).data());
+
+    // A write to the cached page must not leak into the file bytes.
+    std::vector<std::byte> dirty(8, std::byte{0x99});
+    kern.writePageData(seg, 0, 0, dirty);
+    std::vector<std::byte> filebytes(8);
+    fs.readNow(f, 0, filebytes);
+    EXPECT_EQ(filebytes[0], std::byte{0x5A});
+
+    // Page-out publishes the dirty bytes back, again by reference.
+    pageOutNow(kern, fs, f, 0, seg, 0);
+    fs.readNow(f, 0, filebytes);
+    EXPECT_EQ(filebytes[0], std::byte{0x99});
+    EXPECT_EQ(kern.memory().peek(e->frame),
+              fs.shareNow(f, 0, 4096).data());
+
+    // A zero page pages out sparse: the file chunk is dropped.
+    kern.memory().zero(kern.segment(seg).findPage(1)->frame);
+    pageInNow(kern, fs, f, 2 * 4096, seg, 1);
+    kern.memory().zero(kern.segment(seg).findPage(1)->frame);
+    pageOutNow(kern, fs, f, 2 * 4096, seg, 1);
+    EXPECT_FALSE(fs.shareNow(f, 2 * 4096, 4096));
+    fs.readNow(f, 2 * 4096, filebytes);
+    EXPECT_EQ(filebytes[0], std::byte{0});
+}
+
+TEST(Paging, ChargedPathMatchesBlockTiming)
+{
+    sim::Simulation s;
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20;
+    kernel::Kernel kern(s, m);
+    hw::Disk disk(s, sim::msec(16), 2.0);
+    FileServer fs(s, disk, usec(200));
+    FileId f = fs.createFile("rel", 4096);
+    kernel::SegmentId seg = kern.createSegmentNow("cache", 4096, 1, 1);
+    kern.migratePagesNow(kernel::kPhysSegment, seg, 0, 0, 1, 0, 0);
+
+    runTask(s, pageIn(kern, fs, f, 0, seg, 0));
+    // Same charge as readBlock: request overhead + seek + transfer.
+    sim::Duration t1 = usec(200) + sim::msec(16) + usec(2048);
+    EXPECT_EQ(s.now(), t1);
+
+    runTask(s, pageOut(kern, fs, f, 0, seg, 0));
+    // chargeCopy(4 KB) + the writeBlock charge on top.
+    sim::Duration copy = static_cast<sim::Duration>(
+        static_cast<double>(m.cost.copyPerKB) * 4);
+    EXPECT_EQ(s.now(), t1 + copy + usec(200) + sim::msec(16) +
+                           usec(2048));
 }
 
 /** Full V++ stack for block-I/O tests. */
