@@ -20,6 +20,7 @@
 #include "db/lock.h"
 #include "hw/cache_model.h"
 #include "hw/disk.h"
+#include "inject/inject.h"
 #include "managers/generic.h"
 #include "sim/random.h"
 #include "uio/paging.h"
@@ -153,6 +154,59 @@ BM_FullFaultPath(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullFaultPath);
+
+void
+BM_FaultRedeliver(benchmark::State &state)
+{
+    // Host cost of the resilient delivery machinery: a lying handler
+    // forces redeliveries (promise + deadline race per attempt) until
+    // an honest attempt resolves the fault. maxRedeliveries is high
+    // enough that failover is unreachable, so every iteration stays
+    // on the redelivery path.
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(8192, 4096);
+    kernel::SegmentId seg =
+        kern.createSegmentNow("heap", 4096, 1 << 20, 1, &manager);
+    kernel::Process proc("p", 1);
+
+    kernel::ResiliencePolicy pol;
+    pol.enabled = true;
+    pol.faultDeadline = sim::msec(10);
+    pol.maxRedeliveries = 64;
+    pol.retryBackoff = sim::usec(10);
+    pol.failover = false;
+    kern.setResiliencePolicy(pol);
+
+    inject::Config icfg;
+    icfg.enabled = true;
+    icfg.seed = 42;
+    icfg.manager.lieProb = 0.5;
+    inject::Engine eng(icfg);
+    kern.setInjector(&eng);
+
+    kernel::PageIndex page = 0;
+    for (auto _ : state) {
+        if (manager.freePages() == 0) {
+            state.PauseTiming();
+            std::vector<kernel::PageIndex> pages;
+            pages.reserve(kern.segment(seg).pages().size());
+            for (const auto &[pg, e] : kern.segment(seg).pages())
+                pages.push_back(pg);
+            for (auto pg : pages)
+                kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
+            state.ResumeTiming();
+        }
+        kernel::runTask(s, kern.touchSegment(
+                               proc, seg, page++,
+                               kernel::AccessType::Write));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultRedeliver);
 
 void
 BM_TouchResident(benchmark::State &state)

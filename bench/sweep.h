@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "hw/disk.h"
 #include "hw/physmem.h"
 #include "sim/runner.h"
 
@@ -138,6 +139,8 @@ class Sweep
     {
         results_.assign(jobs_.size(), RowResult{});
         committedPeak_.assign(jobs_.size(), 0);
+        diskErrors_.assign(jobs_.size(), 0);
+        diskRetries_.assign(jobs_.size(), 0);
         vpp::sim::Runner runner(opt_.jobs);
         if (opt_.progress) {
             runner.setProgress([this](std::size_t d, std::size_t t) {
@@ -154,8 +157,11 @@ class Sweep
                 // thread-local high-water mark, reset at row entry, is
                 // this row's simulated committed-memory peak.
                 vpp::hw::resetThreadCommittedPeak();
+                vpp::hw::resetThreadDiskCounters();
                 results_[i] = jobs_[i]();
                 committedPeak_[i] = vpp::hw::threadPeakCommittedBytes();
+                diskErrors_[i] = vpp::hw::threadDiskErrors();
+                diskRetries_[i] = vpp::hw::threadDiskRetries();
             });
         }
         runner.wait();
@@ -181,21 +187,33 @@ class Sweep
                 double committed =
                     static_cast<double>(committedPeak_[i]) /
                     (1024.0 * 1024.0);
+                // Disk fault-injection traffic, when present, rides
+                // along on the cost line (stderr only; never part of
+                // the diffed stdout/JSON).
+                char disk[64] = "";
+                if (diskErrors_[i] || diskRetries_[i]) {
+                    std::snprintf(disk, sizeof(disk),
+                                  ", disk err %llu/retry %llu",
+                                  static_cast<unsigned long long>(
+                                      diskErrors_[i]),
+                                  static_cast<unsigned long long>(
+                                      diskRetries_[i]));
+                }
                 if (s.peakHeapBytes >= 0) {
                     std::fprintf(
                         stderr,
                         "  %-36s %7.3f s host, peak heap %.1f MB, "
-                        "sim committed %.1f MB\n",
+                        "sim committed %.1f MB%s\n",
                         labels_[i].c_str(), s.hostSeconds,
                         static_cast<double>(s.peakHeapBytes) /
                             (1024.0 * 1024.0),
-                        committed);
+                        committed, disk);
                 } else {
                     std::fprintf(stderr,
                                  "  %-36s %7.3f s host, "
-                                 "sim committed %.1f MB\n",
+                                 "sim committed %.1f MB%s\n",
                                  labels_[i].c_str(), s.hostSeconds,
-                                 committed);
+                                 committed, disk);
                 }
             }
         }
@@ -283,6 +301,8 @@ class Sweep
     std::vector<std::function<RowResult()>> jobs_;
     std::vector<RowResult> results_;
     std::vector<std::int64_t> committedPeak_; ///< simulated bytes per row
+    std::vector<std::uint64_t> diskErrors_;   ///< injected failures per row
+    std::vector<std::uint64_t> diskRetries_;  ///< paging retries per row
     std::size_t failures_ = 0;
 };
 

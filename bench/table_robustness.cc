@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Robustness table: transaction throughput and fault-path latency
+ * under injected faults, V++ external management vs the conventional
+ * in-kernel comparator.
+ *
+ * The paper's safety argument (§2-§3) is that moving page-cache
+ * management out of the kernel does not surrender the machine to a
+ * buggy manager: the kernel retains ultimate authority. This driver
+ * measures that claim. A fixed transaction workload (random 4 KB
+ * touches over four cached files, with periodic clock reclamation to
+ * keep paging traffic alive) runs against a grid of injected fault
+ * rates:
+ *
+ *  - disk error rate: every transfer can fail (vpp::inject); both
+ *    systems absorb errors with the same bounded retry + backoff;
+ *  - manager flakiness: the application's segment manager stalls,
+ *    crashes, or lies on a fraction of handler invocations; the
+ *    kernel's resilience policy (deadline, redelivery, failover to
+ *    the trusted default manager) bounds the damage.
+ *
+ * Headline: V++ completes every transaction at every injected rate —
+ * external management degrades gracefully because the default-manager
+ * fallback is always available — while the only way the conventional
+ * system survives is that its (in-kernel, uninjectable) fault path
+ * never leaves the trusted base in the first place.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/stack.h"
+#include "baseline/conventional_vm.h"
+#include "inject/inject.h"
+#include "sim/random.h"
+#include "sim/table.h"
+#include "sweep.h"
+
+using namespace vpp;
+using sim::TextTable;
+
+namespace {
+
+// Workload shape (identical for both systems, all rows).
+constexpr int kTxns = 300;
+constexpr int kTouchesPerTxn = 24;
+constexpr std::uint64_t kFilePages = 512; // 2 MB per file
+constexpr int kFiles = 4;
+constexpr int kReclaimEveryTxns = 25;
+constexpr std::uint64_t kReclaimTarget = 192;
+constexpr std::uint64_t kWorkloadSeed = 20260806;
+
+// One injection seed per row keeps the fault streams independent of
+// row order (and of --jobs).
+inject::Config
+engineConfig(std::uint64_t row_seed, double disk_err, double flaky,
+             double storm_prob, bool enabled)
+{
+    inject::Config c;
+    c.enabled = enabled;
+    c.seed = 0x5eedb0b0ull ^ (row_seed * 0x9e3779b97f4a7c15ull);
+    c.disk.readErrorProb = disk_err;
+    c.disk.writeErrorProb = disk_err;
+    c.disk.latencySpikeProb = disk_err;
+    c.manager.stallProb = flaky * 0.50;
+    c.manager.crashProb = flaky * 0.25;
+    c.manager.lieProb = flaky * 0.25;
+    c.pressure.stormProb = storm_prob;
+    c.pressure.stormFrames = 64;
+    return c;
+}
+
+kernel::ResiliencePolicy
+benchPolicy()
+{
+    kernel::ResiliencePolicy pol;
+    pol.enabled = true;
+    // Longer than any honest fault (worst case: disk latency plus a
+    // 50 ms injected spike plus retry backoff), shorter than the
+    // 200 ms injected stall, so timeouts fire on stalls only.
+    pol.faultDeadline = sim::msec(120);
+    pol.maxRedeliveries = 3;
+    pol.retryBackoff = sim::msec(1);
+    pol.failover = true;
+    pol.reclaimOnFailover = true;
+    return pol;
+}
+
+sim::Task<>
+vppTxnLoop(apps::VppStack &st, mgr::DefaultSegmentManager &app_mgr,
+           kernel::Process &proc,
+           const std::vector<kernel::SegmentId> &segs, int *txns_done,
+           sim::SimTime *end_time)
+{
+    sim::Random rng(kWorkloadSeed);
+    for (int t = 0; t < kTxns; ++t) {
+        kernel::SegmentId seg = segs[t % kFiles];
+        for (int j = 0; j < kTouchesPerTxn; ++j) {
+            kernel::PageIndex page =
+                static_cast<kernel::PageIndex>(rng.below(kFilePages));
+            kernel::AccessType a = rng.chance(0.25)
+                                       ? kernel::AccessType::Write
+                                       : kernel::AccessType::Read;
+            co_await st.kern.touchSegment(proc, seg, page, a);
+        }
+        ++*txns_done;
+        if ((t + 1) % kReclaimEveryTxns == 0)
+            co_await app_mgr.clockPass(kReclaimTarget);
+    }
+    *end_time = st.sim.now();
+}
+
+vppbench::RowResult
+runVppRow(double disk_err, double flaky, double storm_prob,
+          std::uint64_t row_seed, int attach_engine /* 0 no, 1 yes */,
+          bool engine_enabled)
+{
+    hw::MachineConfig machine = hw::decstation5000_200();
+    apps::VppStack st(machine);
+
+    // The application's own manager: same implementation as the UCDS
+    // but a separate (untrusted, injectable) process instance.
+    mgr::DefaultSegmentManager app_mgr(st.kern, &st.spcm, st.server,
+                                       st.registry);
+    app_mgr.initNow(4096, 512);
+
+    st.kern.setDefaultManager(&st.ucds);
+    st.kern.setResiliencePolicy(benchPolicy());
+
+    inject::Engine eng(engineConfig(row_seed, disk_err, flaky,
+                                    storm_prob, engine_enabled));
+    if (attach_engine) {
+        st.disk.setInjector(&eng);
+        st.kern.setInjector(&eng);
+        st.spcm.setInjector(&eng);
+    }
+
+    std::vector<kernel::SegmentId> segs;
+    for (int i = 0; i < kFiles; ++i) {
+        uio::FileId f = st.server.createFile(
+            "txn" + std::to_string(i), kFilePages * 4096);
+        segs.push_back(kernel::runTask(st.sim, app_mgr.openFile(f)));
+    }
+
+    kernel::Process proc("txn", 1);
+    int txns_done = 0;
+    sim::SimTime end_time = 0;
+    std::string error;
+    try {
+        kernel::runTask(st.sim, vppTxnLoop(st, app_mgr, proc, segs,
+                                           &txns_done, &end_time));
+    } catch (const std::exception &e) {
+        error = e.what();
+        end_time = st.sim.now();
+    }
+    if (!error.empty())
+        std::fprintf(stderr, "table_robustness: v++ row error: %s\n",
+                     error.c_str());
+
+    const kernel::Kernel::Stats &ks = st.kern.stats();
+    double sim_sec = sim::toSec(end_time);
+    std::string why;
+    bool invariant_ok = st.kern.checkFrameInvariant(&why);
+    if (!invariant_ok)
+        std::fprintf(stderr,
+                     "table_robustness: invariant violated: %s\n",
+                     why.c_str());
+
+    vppbench::RowResult r;
+    r.set("txns", static_cast<double>(txns_done));
+    r.set("completed", txns_done == kTxns ? 1.0 : 0.0);
+    r.set("sim_sec", sim_sec);
+    r.set("txn_per_sec",
+          sim_sec > 0 ? static_cast<double>(txns_done) / sim_sec : 0.0);
+    r.set("faults", static_cast<double>(ks.faults));
+    r.set("manager_calls", static_cast<double>(ks.managerCalls));
+    r.set("redeliveries", static_cast<double>(ks.faultRedeliveries));
+    r.set("timeouts", static_cast<double>(ks.faultTimeouts));
+    r.set("failovers", static_cast<double>(ks.failovers));
+    r.set("manager_crashes", static_cast<double>(ks.managerCrashes));
+    r.set("injected_stalls", static_cast<double>(ks.injectedStalls));
+    r.set("injected_lies", static_cast<double>(ks.injectedLies));
+    r.set("frames_reclaimed", static_cast<double>(ks.framesReclaimed));
+    r.set("io_errors", static_cast<double>(ks.ioErrors));
+    r.set("io_retries", static_cast<double>(ks.ioRetries));
+    r.set("disk_errors", static_cast<double>(st.disk.errors()));
+    r.set("disk_retries", static_cast<double>(st.disk.retries()));
+    r.set("spcm_grants", static_cast<double>(st.spcm.grantsServed()));
+    r.set("storms", static_cast<double>(st.spcm.stormsTriggered()));
+    r.set("avg_fault_us",
+          ks.faults ? sim::toUsec(ks.faultLatencyTotal) /
+                          static_cast<double>(ks.faults)
+                    : 0.0);
+    r.set("max_fault_us", sim::toUsec(ks.faultLatencyMax));
+    r.set("invariant_ok", invariant_ok ? 1.0 : 0.0);
+    return r;
+}
+
+sim::Task<>
+ultrixTxnLoop(sim::Simulation &s, baseline::ConventionalVm &vm,
+              baseline::ProcId proc,
+              const std::vector<uio::FileId> &files, int *txns_done,
+              sim::SimTime *end_time)
+{
+    sim::Random rng(kWorkloadSeed);
+    std::vector<std::byte> buf(4096);
+    for (int t = 0; t < kTxns; ++t) {
+        uio::FileId f = files[t % kFiles];
+        for (int j = 0; j < kTouchesPerTxn; ++j) {
+            std::uint64_t off = rng.below(kFilePages) * 4096ull;
+            if (rng.chance(0.25))
+                co_await vm.write(proc, f, off,
+                                  std::span<const std::byte>(buf));
+            else
+                co_await vm.read(proc, f, off,
+                                 std::span<std::byte>(buf));
+        }
+        ++*txns_done;
+        // The comparator's equivalent of reclamation pressure: flush
+        // and drop one file's cache, forcing refetches.
+        if ((t + 1) % kReclaimEveryTxns == 0)
+            co_await vm.closeFile(files[t % kFiles]);
+    }
+    *end_time = s.now();
+}
+
+vppbench::RowResult
+runUltrixRow(double disk_err, std::uint64_t row_seed)
+{
+    hw::MachineConfig machine = hw::decstation5000_200();
+    sim::Simulation s;
+    hw::Disk disk(s, machine.diskLatency, machine.diskBandwidthMBps);
+    uio::FileServer server(s, disk, sim::usec(200));
+    baseline::ConventionalVm vm(s, machine, server);
+
+    inject::Engine eng(engineConfig(row_seed, disk_err, 0.0, 0.0,
+                                    disk_err > 0));
+    disk.setInjector(&eng);
+
+    std::vector<uio::FileId> files;
+    for (int i = 0; i < kFiles; ++i) {
+        files.push_back(server.createFile("txn" + std::to_string(i),
+                                          kFilePages * 4096));
+    }
+    baseline::ProcId proc = vm.createProcess("txn");
+
+    int txns_done = 0;
+    sim::SimTime end_time = 0;
+    std::string error;
+    try {
+        kernel::runTask(s, ultrixTxnLoop(s, vm, proc, files,
+                                         &txns_done, &end_time));
+    } catch (const std::exception &e) {
+        error = e.what();
+        end_time = s.now();
+    }
+    if (!error.empty())
+        std::fprintf(stderr,
+                     "table_robustness: ultrix row error: %s\n",
+                     error.c_str());
+
+    double sim_sec = sim::toSec(end_time);
+    vppbench::RowResult r;
+    r.set("txns", static_cast<double>(txns_done));
+    r.set("completed", txns_done == kTxns ? 1.0 : 0.0);
+    r.set("sim_sec", sim_sec);
+    r.set("txn_per_sec",
+          sim_sec > 0 ? static_cast<double>(txns_done) / sim_sec : 0.0);
+    r.set("io_errors", static_cast<double>(vm.stats().ioErrors));
+    r.set("io_retries", static_cast<double>(vm.stats().ioRetries));
+    r.set("disk_errors", static_cast<double>(disk.errors()));
+    r.set("disk_retries", static_cast<double>(disk.retries()));
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vppbench::Options opt =
+        vppbench::parseArgs(argc, argv, "table_robustness");
+
+    struct Row
+    {
+        std::string label;
+        bool isVpp;
+        double diskErr;
+        double flaky;
+        double storm;
+        int attach;   ///< attach an engine object at all
+        bool enabled; ///< Config::enabled
+    };
+    std::vector<Row> rows = {
+        {"v++ clean (no engine)", true, 0, 0, 0, 0, false},
+        {"v++ clean (engine off)", true, 0, 0, 0, 1, false},
+        {"v++ disk-err 0.5%", true, 0.005, 0, 0, 1, true},
+        {"v++ disk-err 2%", true, 0.02, 0, 0, 1, true},
+        {"v++ flaky-mgr 10%", true, 0, 0.10, 0, 1, true},
+        {"v++ flaky-mgr 50%", true, 0, 0.50, 0, 1, true},
+        {"v++ disk 2% + flaky 50%", true, 0.02, 0.50, 0, 1, true},
+        {"v++ reclaim-storm 40%", true, 0, 0, 0.40, 1, true},
+        {"ultrix clean", false, 0, 0, 0, 1, false},
+        {"ultrix disk-err 0.5%", false, 0.005, 0, 0, 1, true},
+        {"ultrix disk-err 2%", false, 0.02, 0, 0, 1, true},
+    };
+
+    vppbench::Sweep sweep("table_robustness", opt);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        std::uint64_t seed = 100 + i;
+        if (row.isVpp) {
+            sweep.add(row.label, [row, seed] {
+                return runVppRow(row.diskErr, row.flaky, row.storm,
+                                 seed, row.attach, row.enabled);
+            });
+        } else {
+            sweep.add(row.label, [row, seed] {
+                return runUltrixRow(row.diskErr, seed);
+            });
+        }
+    }
+    sweep.run();
+
+    std::printf("Robustness: transaction throughput under injected "
+                "faults\n");
+    std::printf("%d txns x %d random 4 KB touches over %d files, "
+                "reclamation every %d txns\n\n",
+                kTxns, kTouchesPerTxn, kFiles, kReclaimEveryTxns);
+
+    TextTable t({"Configuration", "txns", "sim s", "txn/s",
+                 "disk err", "io retry", "redeliv", "timeout",
+                 "failover", "avg flt us", "max flt us"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool v = rows[i].isVpp;
+        t.addRow({sweep.label(i),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "txns"))),
+                  TextTable::num(sweep.get(i, "sim_sec"), 2),
+                  TextTable::num(sweep.get(i, "txn_per_sec"), 2),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "disk_errors"))),
+                  std::to_string(static_cast<std::uint64_t>(
+                      sweep.get(i, "io_retries"))),
+                  v ? std::to_string(static_cast<std::uint64_t>(
+                          sweep.get(i, "redeliveries")))
+                    : std::string("-"),
+                  v ? std::to_string(static_cast<std::uint64_t>(
+                          sweep.get(i, "timeouts")))
+                    : std::string("-"),
+                  v ? std::to_string(static_cast<std::uint64_t>(
+                          sweep.get(i, "failovers")))
+                    : std::string("-"),
+                  v ? TextTable::num(sweep.get(i, "avg_fault_us"), 0)
+                    : std::string("-"),
+                  v ? TextTable::num(sweep.get(i, "max_fault_us"), 0)
+                    : std::string("-")});
+    }
+    t.print();
+
+    vppbench::PaperCheck check("table_robustness");
+
+    // Satellite guarantee: an attached-but-disabled engine is
+    // indistinguishable from no engine at all — every metric equal.
+    {
+        const auto &a = sweep.at(0).metrics;
+        const auto &b = sweep.at(1).metrics;
+        check.that("disabled engine row has same metric set",
+                   a.size() == b.size());
+        for (std::size_t m = 0; m < std::min(a.size(), b.size()); ++m) {
+            check.that("identity: " + a[m].first,
+                       a[m].first == b[m].first &&
+                           a[m].second == b[m].second);
+        }
+    }
+
+    // Graceful degradation: every V++ row finishes every transaction,
+    // no matter what was injected, and frame conservation holds.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (!rows[i].isVpp)
+            continue;
+        check.that(sweep.label(i) + ": all txns complete",
+                   sweep.get(i, "completed") == 1.0);
+        check.that(sweep.label(i) + ": frame invariant holds",
+                   sweep.get(i, "invariant_ok") == 1.0);
+    }
+
+    // Disk rows: errors really were injected and the bounded retry
+    // absorbed them (for both systems).
+    for (std::size_t i : {std::size_t{2}, std::size_t{3},
+                          std::size_t{9}, std::size_t{10}}) {
+        check.that(sweep.label(i) + ": errors injected",
+                   sweep.get(i, "disk_errors") > 0);
+        check.that(sweep.label(i) + ": retries recovered",
+                   sweep.get(i, "io_retries") > 0 &&
+                       sweep.get(i, "completed") == 1.0);
+    }
+
+    // Manager rows: the resilience machinery was exercised — mild
+    // flakiness costs redeliveries, heavy flakiness forces timeouts
+    // and failover to the default manager.
+    check.that("flaky 10%: redeliveries occurred",
+               sweep.get(4, "redeliveries") > 0);
+    check.that("flaky 50%: timeouts fired",
+               sweep.get(5, "timeouts") > 0);
+    check.that("flaky 50%: failover to default manager",
+               sweep.get(5, "failovers") > 0);
+    check.that("flaky 50%: crashes were contained",
+               sweep.get(5, "manager_crashes") > 0);
+    check.that("storm row: storms triggered",
+               sweep.get(7, "storms") > 0);
+
+    // Degradation is bounded: even the harshest row keeps a usable
+    // fraction of clean throughput (the fallback path is the brake).
+    double clean = sweep.get(0, "txn_per_sec");
+    double harsh = sweep.get(6, "txn_per_sec");
+    check.that("throughput degrades gracefully (>5% of clean)",
+               harsh > 0.05 * clean);
+
+    std::printf("\nShape: V++ completes all transactions at every "
+                "injected rate; the kernel's\ndeadline + redelivery + "
+                "default-manager failover bounds the damage a flaky\n"
+                "manager can do, and bounded retry absorbs disk "
+                "errors in both systems.\n");
+    return check.exitCode(sweep);
+}

@@ -15,8 +15,9 @@
 # baseline (new benchmarks absent from the baseline are reported but
 # do not fail), 1 otherwise. A fixed set of required benchmarks —
 # the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
-# BM_PageInOut) — must be present in the fresh run; their absence
-# fails the gate even if everything that did run was fast enough.
+# BM_PageInOut) and the resilience path (BM_FaultRedeliver) — must be
+# present in the fresh run; their absence fails the gate even if
+# everything that did run was fast enough.
 
 set -eu
 
@@ -68,7 +69,8 @@ failed = []
 
 # Frame-store hot paths must stay benchmarked; a rename or deletion
 # that silently drops one of these would blind the gate.
-required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut"]
+required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
+            "BM_FaultRedeliver"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
         print(f"  MISSING {name}: required benchmark not in fresh run")

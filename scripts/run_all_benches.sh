@@ -51,7 +51,7 @@ BENCHES="table1_primitives table2_applications table3_vm_activity \
 table4_db_response ablation_manager_mode ablation_coloring \
 ablation_prefetch ablation_discardable ablation_market \
 ablation_clock_batch ablation_placement ablation_page_size \
-ablation_paging_period"
+ablation_paging_period table_robustness"
 
 if [ "$sanitize" = 1 ]; then
     echo "== sanitize: building asan preset and running tests"

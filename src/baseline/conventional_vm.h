@@ -31,6 +31,7 @@
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "uio/file_server.h"
+#include "uio/paging.h"
 
 namespace vpp::baseline {
 
@@ -92,6 +93,8 @@ class ConventionalVm
         std::uint64_t writeCalls = 0;
         std::uint64_t blockFetches = 0;
         std::uint64_t blockWritebacks = 0;
+        std::uint64_t ioErrors = 0;
+        std::uint64_t ioRetries = 0;
 
         void reset() { *this = Stats{}; }
     };
@@ -111,6 +114,14 @@ class ConventionalVm
         std::set<std::uint64_t> resident; ///< cached block numbers
         std::set<std::uint64_t> dirty;
     };
+
+    /**
+     * One block transfer with the same bounded-retry policy as the V++
+     * paging path (uio::kMaxIoRetries, doubling backoff), so the
+     * robustness comparison is apples-to-apples. Surfaces
+     * KernelErrc::IoError when the budget is exhausted.
+     */
+    sim::Task<> chargeBlock(std::uint64_t bytes, bool is_write);
 
     sim::Simulation *sim_;
     hw::MachineConfig machine_;

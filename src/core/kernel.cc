@@ -21,6 +21,8 @@ kernelErrcName(KernelErrc e)
       case KernelErrc::Permission: return "Permission";
       case KernelErrc::LimitExceeded: return "LimitExceeded";
       case KernelErrc::FaultLoop: return "FaultLoop";
+      case KernelErrc::IoError: return "IoError";
+      case KernelErrc::ManagerUnresponsive: return "ManagerUnresponsive";
     }
     return "Unknown";
 }
@@ -481,8 +483,17 @@ Kernel::destroySegment(SegmentId seg)
         throw KernelError(KernelErrc::PageBusy,
                           "segment is the target of bound regions");
     }
-    if (SegmentManager *mgr = s.manager())
-        co_await notifyClosed(mgr, seg);
+    if (SegmentManager *mgr = s.manager()) {
+        // A manager crashing in segmentClosed must not leak the
+        // segment's frames: the kernel contains the failure and the
+        // sweep below reclaims whatever the manager left behind.
+        try {
+            co_await notifyClosed(mgr, seg);
+        } catch (...) {
+            ++stats_.closeFailures;
+            mgr->noteCrash();
+        }
+    }
     sweepToPhysSegment(s);
     for (const auto &b : s.bindings())
         --bindRefs_[b.target];
@@ -589,14 +600,17 @@ Kernel::deliverFault(Fault f)
                               fseg.name() + ") has no manager");
     }
 
+    const sim::SimTime fault_start = sim_->now();
     const auto &c = config_.cost;
     co_await sim_->delay(c.trapEnter + c.faultDispatch);
     mgr->noteCall();
     ++stats_.managerCalls;
 
-    if (mgr->mode() == hw::ManagerMode::SameProcess) {
+    if (resilience_.enabled) {
+        co_await deliverResilient(mgr, f);
+    } else if (mgr->mode() == hw::ManagerMode::SameProcess) {
         co_await sim_->delay(c.upcall);
-        co_await mgr->handleFault(*this, f);
+        co_await invokeHandler(mgr, f);
         mgr->noteFaultHandled();
         co_await sim_->delay(config_.resumeThroughKernel ? c.kernelResume
                                                          : c.directResume);
@@ -605,7 +619,7 @@ Kernel::deliverFault(Fault f)
         sim::SimMutex &lock = managerLock(mgr);
         co_await lock.lock();
         try {
-            co_await mgr->handleFault(*this, f);
+            co_await invokeHandler(mgr, f);
         } catch (...) {
             lock.unlock();
             throw;
@@ -632,6 +646,212 @@ Kernel::deliverFault(Fault f)
             }
         }
     }
+
+    const sim::Duration fault_latency = sim_->now() - fault_start;
+    stats_.faultLatencyTotal += fault_latency;
+    if (fault_latency > stats_.faultLatencyMax)
+        stats_.faultLatencyMax = fault_latency;
+}
+
+sim::Task<>
+Kernel::invokeHandler(SegmentManager *mgr, const Fault &f)
+{
+    // The default manager is part of the trusted system base (like the
+    // kernel itself): injection campaigns target external managers.
+    if (inject_ && inject_->enabled() && mgr != defaultMgr_)
+        [[unlikely]] {
+        switch (inject_->managerAction()) {
+          case inject::ManagerAction::Stall:
+            ++stats_.injectedStalls;
+            co_await sim_->delay(inject_->managerStallTime());
+            // While the handler was wedged, redelivery or failover may
+            // have resolved the fault; running it now would install a
+            // second frame onto the same page.
+            if (faultResolved(f))
+                co_return;
+            break;
+          case inject::ManagerAction::Crash:
+            mgr->noteCrash();
+            throw inject::InjectedCrash(mgr->name());
+          case inject::ManagerAction::Lie:
+            ++stats_.injectedLies;
+            co_return; // returns "resolved" without doing anything
+          case inject::ManagerAction::None:
+            break;
+        }
+    }
+    co_await mgr->handleFault(*this, f);
+}
+
+bool
+Kernel::faultResolved(const Fault &f)
+{
+    auto it = segments_.find(f.segment);
+    if (it == segments_.end())
+        return true; // segment gone: nothing left to resolve
+    const PageEntry *e = it->second->findPage(f.page);
+    if (!e) {
+        // A protection fault's page can vanish underneath the fault
+        // (failover reclaims the manager's clean frames, and a clock
+        // pass may reclaim concurrently). The original fault is then
+        // moot: report it resolved so the faulting thread's retry
+        // re-resolves the page and raises a fresh missing-page fault.
+        return f.type == FaultType::Protection;
+    }
+    if (f.type == FaultType::MissingPage ||
+        f.type == FaultType::CopyOnWrite)
+        return true;
+    const std::uint32_t need =
+        f.access == AccessType::Write ? flag::kWritable : flag::kReadable;
+    return (e->flags & need) != 0;
+}
+
+sim::Task<>
+Kernel::runHandlerAttempt(SegmentManager *mgr, Fault f,
+                          std::shared_ptr<sim::Promise<int>> done)
+{
+    const auto &c = config_.cost;
+    try {
+        if (mgr->mode() == hw::ManagerMode::SameProcess) {
+            co_await sim_->delay(c.upcall);
+            // A queued redelivery can find the fault already resolved
+            // by an earlier (stalled but eventually successful)
+            // attempt; invoking the handler again would double-install
+            // the page.
+            if (!faultResolved(f))
+                co_await invokeHandler(mgr, f);
+            mgr->noteFaultHandled();
+            co_await sim_->delay(config_.resumeThroughKernel
+                                     ? c.kernelResume
+                                     : c.directResume);
+        } else {
+            co_await sim_->delay(c.ipcSend + c.contextSwitch);
+            sim::SimMutex &lock = managerLock(mgr);
+            co_await lock.lock();
+            try {
+                if (!faultResolved(f))
+                    co_await invokeHandler(mgr, f);
+            } catch (...) {
+                lock.unlock();
+                throw;
+            }
+            lock.unlock();
+            mgr->noteFaultHandled();
+            co_await sim_->delay(c.ipcReply + c.contextSwitch +
+                                 c.trapExit);
+        }
+        if (!done->fulfilled())
+            done->setValue(0);
+    } catch (...) {
+        // Contain the failure: a crashing handler (injected or real)
+        // and a stalled handler erroring after its deadline must not
+        // tear down the simulation — surviving manager failure is the
+        // property under test.
+        ++stats_.managerCrashes;
+        if (!done->fulfilled())
+            done->setValue(1);
+    }
+}
+
+sim::Task<bool>
+Kernel::attemptWithDeadline(SegmentManager *mgr, const Fault &f)
+{
+    auto done = std::make_shared<sim::Promise<int>>(*sim_);
+    sim_->spawn(runHandlerAttempt(mgr, f, done));
+    sim_->spawn([](sim::Simulation *s, sim::Duration d,
+                   std::shared_ptr<sim::Promise<int>> p) -> sim::Task<> {
+        co_await s->delay(d);
+        if (!p->fulfilled())
+            p->setValue(2);
+    }(sim_, resilience_.faultDeadline, done));
+    const int outcome = co_await done->future();
+    if (outcome == 2) {
+        ++stats_.faultTimeouts;
+        mgr->noteTimeout();
+    }
+    co_return faultResolved(f);
+}
+
+sim::Task<>
+Kernel::deliverResilient(SegmentManager *mgr, Fault f)
+{
+    sim::Duration backoff = resilience_.retryBackoff;
+    for (int attempt = 0;; ++attempt) {
+        if (co_await attemptWithDeadline(mgr, f))
+            co_return;
+        if (attempt >= resilience_.maxRedeliveries)
+            break;
+        ++stats_.faultRedeliveries;
+        co_await sim_->delay(backoff);
+        backoff *= 2;
+    }
+
+    if (!resilience_.failover || !defaultMgr_ || defaultMgr_ == mgr) {
+        throw KernelError(KernelErrc::ManagerUnresponsive,
+                          "manager '" + mgr->name() +
+                              "' failed to resolve fault on segment " +
+                              std::to_string(f.segment) + " page " +
+                              std::to_string(f.page));
+    }
+
+    // Failover (§2.3): the kernel takes the segment away from the
+    // unresponsive manager, reclaims the manager's clean frames, and
+    // hands the segment to the default manager for this fault and all
+    // future ones.
+    ++stats_.failovers;
+    mgr->noteFailover();
+    if (resilience_.reclaimOnFailover)
+        stats_.framesReclaimed += reclaimUnresponsive(mgr);
+    setSegmentManagerNow(f.segment, defaultMgr_);
+    defaultMgr_->noteCall();
+    ++stats_.managerCalls;
+    // The default manager is the trusted base — there is nobody left
+    // to fail over to, so its attempt runs without a deadline (a slow
+    // disk must not turn an honest fill into "unresponsive").
+    auto done = std::make_shared<sim::Promise<int>>(*sim_);
+    sim_->spawn(runHandlerAttempt(defaultMgr_, f, done));
+    co_await done->future();
+    if (faultResolved(f))
+        co_return;
+    throw KernelError(KernelErrc::ManagerUnresponsive,
+                      "default manager '" + defaultMgr_->name() +
+                          "' failed to resolve fault type " +
+                          std::to_string(static_cast<int>(f.type)) +
+                          " on segment " + std::to_string(f.segment) +
+                          " page " + std::to_string(f.page));
+}
+
+std::uint64_t
+Kernel::reclaimUnresponsive(SegmentManager *mgr)
+{
+    Segment &phys = segmentOrThrow(kPhysSegment);
+    std::uint64_t reclaimed = 0;
+    for (auto &[sid, seg] : segments_) {
+        if (sid == kPhysSegment || seg->manager() != mgr)
+            continue;
+        const std::uint32_t fpp = framesPerPage(*seg);
+        std::vector<PageIndex> victims;
+        for (const auto &[page, entry] : seg->pages()) {
+            // Dirty data would be lost and pinned pages were promised
+            // to stay; everything else is refetchable, so take it.
+            if (!(entry.flags & (flag::kPinned | flag::kDirty)))
+                victims.push_back(page);
+        }
+        for (PageIndex page : victims) {
+            const PageEntry entry = *seg->findPage(page);
+            for (std::uint32_t i = 0; i < fpp; ++i) {
+                hw::FrameId fid = entry.frame + i;
+                phys.pages()[fid] =
+                    PageEntry{fid, flag::kReadable | flag::kWritable};
+                frames_[fid].segment = kPhysSegment;
+                frames_[fid].page = fid;
+            }
+            seg->pages().erase(page);
+            reclaimed += fpp;
+        }
+    }
+    invalidateResolutions();
+    return reclaimed;
 }
 
 sim::Task<>

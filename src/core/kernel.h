@@ -35,6 +35,7 @@
 #include "hw/config.h"
 #include "hw/physmem.h"
 #include "hw/tlb.h"
+#include "inject/inject.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -49,6 +50,26 @@ struct FrameOwner
     UserId lastUser = kSystemUser; ///< last user the frame was given to
 };
 
+/**
+ * Kernel defenses against misbehaving segment managers (§2-§3: the
+ * kernel retains ultimate authority). Disabled by default, in which
+ * case fault delivery is the plain invoke-and-wait path with an
+ * identical event sequence. When enabled, each handler invocation
+ * races a deadline; an expired, crashed or lying attempt is
+ * redelivered with doubling backoff, and after maxRedeliveries the
+ * kernel unilaterally reclaims the manager's clean frames and fails
+ * the segment over to the default manager.
+ */
+struct ResiliencePolicy
+{
+    bool enabled = false;
+    sim::Duration faultDeadline = sim::msec(50);
+    int maxRedeliveries = 3;
+    sim::Duration retryBackoff = sim::usec(500); ///< doubles per retry
+    bool failover = true;          ///< reassign to the default manager
+    bool reclaimOnFailover = true; ///< sweep clean frames to phys pool
+};
+
 class Kernel
 {
   public:
@@ -60,6 +81,33 @@ class Kernel
 
     /** TLB model (active when MachineConfig::modelTlb is set). */
     hw::Tlb *tlb() { return tlb_ ? tlb_.get() : nullptr; }
+
+    // ------------------------------------------------------------------
+    // Resilience (fault-handling deadlines, failover, injection)
+    // ------------------------------------------------------------------
+
+    /** Install the kernel's defenses against misbehaving managers. */
+    void setResiliencePolicy(const ResiliencePolicy &p)
+    {
+        resilience_ = p;
+    }
+    const ResiliencePolicy &resiliencePolicy() const
+    {
+        return resilience_;
+    }
+
+    /**
+     * The manager of last resort (the UCDS role, §2.3). Failover
+     * reassigns an unresponsive manager's segment here. The default
+     * manager is part of the trusted system base, so fault injection
+     * never targets it.
+     */
+    void setDefaultManager(SegmentManager *m) { defaultMgr_ = m; }
+    SegmentManager *defaultManager() const { return defaultMgr_; }
+
+    /** Attach (or detach with nullptr) a fault-injection engine. */
+    void setInjector(inject::Engine *e) { inject_ = e; }
+    inject::Engine *injector() const { return inject_; }
 
     // ------------------------------------------------------------------
     // Segment operations (paper API; charge simulated time)
@@ -222,6 +270,24 @@ class Kernel
         std::uint64_t segmentsDestroyed = 0;
         std::uint64_t tlbMisses = 0;
 
+        // Resilience / failure-path counters.
+        std::uint64_t faultTimeouts = 0;   ///< deadline expiries
+        std::uint64_t faultRedeliveries = 0;
+        std::uint64_t failovers = 0;       ///< segments reassigned
+        std::uint64_t managerCrashes = 0;  ///< handler exceptions contained
+        std::uint64_t injectedStalls = 0;
+        std::uint64_t injectedLies = 0;
+        std::uint64_t framesReclaimed = 0; ///< unilateral reclamations
+        std::uint64_t closeFailures = 0;   ///< segmentClosed crashes
+        std::uint64_t ioErrors = 0;        ///< DiskErrors seen by paging
+        std::uint64_t ioRetries = 0;       ///< paging retries issued
+
+        // Fault-path latency (sum and max over deliverFault, entry to
+        // resolution, in simulated time). Pure accumulation: no events
+        // are scheduled, so enabling nothing keeps runs bit-identical.
+        sim::Duration faultLatencyTotal = 0;
+        sim::Duration faultLatencyMax = 0;
+
         void reset() { *this = Stats{}; }
     };
 
@@ -240,6 +306,39 @@ class Kernel
     sim::Task<> deliverFault(Fault f);
     sim::Task<> notifyClosed(SegmentManager *mgr, SegmentId seg);
     sim::SimMutex &managerLock(SegmentManager *mgr);
+
+    /**
+     * Invoke the handler, applying manager-layer fault injection
+     * (stall / crash / lie) unless @p mgr is the trusted default
+     * manager. With no engine attached this is a plain handleFault.
+     */
+    sim::Task<> invokeHandler(SegmentManager *mgr, const Fault &f);
+
+    /** Resilient delivery: deadline, redelivery, failover. */
+    sim::Task<> deliverResilient(SegmentManager *mgr, Fault f);
+
+    /**
+     * One handler attempt raced against the fault deadline. Returns
+     * whether the fault is resolved afterwards; a late or crashing
+     * handler is contained (its outcome is recorded, never rethrown).
+     */
+    sim::Task<bool> attemptWithDeadline(SegmentManager *mgr,
+                                        const Fault &f);
+
+    /** The spawned half of attemptWithDeadline (detached root). */
+    sim::Task<> runHandlerAttempt(
+        SegmentManager *mgr, Fault f,
+        std::shared_ptr<sim::Promise<int>> done);
+
+    bool faultResolved(const Fault &f);
+
+    /**
+     * Unilaterally reclaim the clean, unpinned frames of every segment
+     * managed by @p mgr (§2: the kernel can always take memory back).
+     * Dirty and pinned pages are left so no data is lost. Returns
+     * frames reclaimed into the physical segment.
+     */
+    std::uint64_t reclaimUnresponsive(SegmentManager *mgr);
 
     /** Follow non-copy-on-write bindings to the install target. */
     void resolveForInstall(SegmentId &seg, PageIndex &page) const;
@@ -269,6 +368,9 @@ class Kernel
     std::unique_ptr<hw::Tlb> tlb_;
     Stats stats_;
     std::uint64_t resolveEpoch_ = 1; ///< segment caches start at 0
+    ResiliencePolicy resilience_;
+    SegmentManager *defaultMgr_ = nullptr;
+    inject::Engine *inject_ = nullptr;
 
 };
 

@@ -68,14 +68,25 @@ class SegmentManager
     std::uint64_t calls() const { return calls_; }
     std::uint64_t faultsHandled() const { return faultsHandled_; }
 
+    /** Resilience counters (kernel-observed misbehaviour, §2-§3). */
+    std::uint64_t faultTimeouts() const { return timeouts_; }
+    std::uint64_t failovers() const { return failovers_; }
+    std::uint64_t crashes() const { return crashes_; }
+
     void noteCall() { ++calls_; }
     void noteFaultHandled() { ++faultsHandled_; }
+    void noteTimeout() { ++timeouts_; }
+    void noteFailover() { ++failovers_; }
+    void noteCrash() { ++crashes_; }
 
     void
     resetStats()
     {
         calls_ = 0;
         faultsHandled_ = 0;
+        timeouts_ = 0;
+        failovers_ = 0;
+        crashes_ = 0;
     }
 
   private:
@@ -83,6 +94,9 @@ class SegmentManager
     hw::ManagerMode mode_;
     std::uint64_t calls_ = 0;
     std::uint64_t faultsHandled_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t failovers_ = 0;
+    std::uint64_t crashes_ = 0;
 };
 
 } // namespace vpp::kernel

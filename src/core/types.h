@@ -77,6 +77,8 @@ enum class KernelErrc
     Permission,
     LimitExceeded,
     FaultLoop,      ///< manager failed to resolve a fault repeatedly
+    IoError,        ///< disk transfer failed beyond the retry budget
+    ManagerUnresponsive, ///< deadline expired; failover also failed
 };
 
 const char *kernelErrcName(KernelErrc e);

@@ -1,0 +1,96 @@
+#include "inject/inject.h"
+
+namespace vpp::inject {
+
+const char *
+managerActionName(ManagerAction a)
+{
+    switch (a) {
+      case ManagerAction::None: return "None";
+      case ManagerAction::Stall: return "Stall";
+      case ManagerAction::Crash: return "Crash";
+      case ManagerAction::Lie: return "Lie";
+    }
+    return "Unknown";
+}
+
+Engine::Engine(const Config &cfg)
+    : cfg_(cfg),
+      // Distinct odd salts; Random's splitmix64 expansion decorrelates
+      // the streams even for adjacent seeds.
+      diskRng_(cfg.seed ^ 0xd15c0000d15c0001ull),
+      mgrRng_(cfg.seed ^ 0x4d4752000000004dull),
+      pressureRng_(cfg.seed ^ 0x5052455353000055ull)
+{}
+
+bool
+Engine::diskReadError()
+{
+    if (!cfg_.enabled || cfg_.disk.readErrorProb <= 0.0)
+        return false;
+    if (!diskRng_.chance(cfg_.disk.readErrorProb))
+        return false;
+    ++stats_.readErrors;
+    return true;
+}
+
+bool
+Engine::diskWriteError()
+{
+    if (!cfg_.enabled || cfg_.disk.writeErrorProb <= 0.0)
+        return false;
+    if (!diskRng_.chance(cfg_.disk.writeErrorProb))
+        return false;
+    ++stats_.writeErrors;
+    return true;
+}
+
+sim::Duration
+Engine::diskLatencySpike()
+{
+    if (!cfg_.enabled || cfg_.disk.latencySpikeProb <= 0.0)
+        return 0;
+    if (!diskRng_.chance(cfg_.disk.latencySpikeProb))
+        return 0;
+    ++stats_.latencySpikes;
+    return cfg_.disk.latencySpike;
+}
+
+ManagerAction
+Engine::managerAction()
+{
+    const ManagerFaults &m = cfg_.manager;
+    const double total = m.stallProb + m.crashProb + m.lieProb;
+    if (!cfg_.enabled || total <= 0.0)
+        return ManagerAction::None;
+    // One draw decides among the three fates so their relative rates
+    // are exact and the stream advances once per invocation.
+    double u = mgrRng_.uniform();
+    if (u < m.stallProb) {
+        ++stats_.stalls;
+        return ManagerAction::Stall;
+    }
+    if (u < m.stallProb + m.crashProb) {
+        ++stats_.crashes;
+        return ManagerAction::Crash;
+    }
+    if (u < total) {
+        ++stats_.lies;
+        return ManagerAction::Lie;
+    }
+    return ManagerAction::None;
+}
+
+std::uint64_t
+Engine::reclaimStorm()
+{
+    const PressureFaults &p = cfg_.pressure;
+    if (!cfg_.enabled || p.stormProb <= 0.0 || p.stormFrames == 0)
+        return 0;
+    if (!pressureRng_.chance(p.stormProb))
+        return 0;
+    ++stats_.storms;
+    return p.stormFrames;
+}
+
+} // namespace vpp::inject

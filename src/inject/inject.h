@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Seed-deterministic fault injection (vpp::inject).
+ *
+ * The paper's safety argument (§2-§3) is that external page-cache
+ * management cannot wedge the machine: the kernel retains ultimate
+ * authority and can redeliver faults, fall back to the default
+ * manager, and unilaterally reclaim an unresponsive manager's frames.
+ * This engine exists to exercise those paths. It perturbs three
+ * layers:
+ *
+ *  - disk: per-operation read/write errors and latency spikes
+ *    (hw::Disk consults the engine inside its transfer path);
+ *  - managers: stall for a fixed simulated time, crash mid-fault, or
+ *    "lie" by returning without resolving (kernel::Kernel consults
+ *    the engine around each handler invocation);
+ *  - memory pressure: reclaim storms that force every SPCM client to
+ *    shed frames (mgr::SystemPageCacheManager consults the engine on
+ *    each allocation request).
+ *
+ * Determinism: each layer draws from its own xoshiro256++ stream
+ * derived from Config::seed, so enabling one fault class never shifts
+ * another's sequence, and two runs with the same seed are
+ * bit-identical at any --jobs value. A null engine pointer — the
+ * default everywhere — is a structural no-op: none of the consulting
+ * sites schedule events, draw random numbers, or branch differently,
+ * so every committed bench baseline stays byte-identical. An engine
+ * constructed with `enabled = false` behaves identically to a null
+ * pointer (no draws, no faults).
+ */
+
+#ifndef VPP_INJECT_INJECT_H
+#define VPP_INJECT_INJECT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace vpp::inject {
+
+/** Disk-layer fault rates (hw::Disk). */
+struct DiskFaults
+{
+    double readErrorProb = 0.0;   ///< P(injected error per read)
+    double writeErrorProb = 0.0;  ///< P(injected error per write)
+    double latencySpikeProb = 0.0;///< P(latency spike per transfer)
+    sim::Duration latencySpike = sim::msec(50);
+};
+
+/** Manager-layer fault rates (kernel::Kernel handler invocations). */
+struct ManagerFaults
+{
+    double stallProb = 0.0; ///< P(handler stalls before running)
+    sim::Duration stallTime = sim::msec(200);
+    double crashProb = 0.0; ///< P(handler throws mid-fault)
+    double lieProb = 0.0;   ///< P(handler returns without resolving)
+};
+
+/** Memory-pressure fault rates (mgr::SystemPageCacheManager). */
+struct PressureFaults
+{
+    double stormProb = 0.0;      ///< P(reclaim storm per SPCM request)
+    std::uint64_t stormFrames = 0; ///< frames demanded from each client
+};
+
+struct Config
+{
+    bool enabled = false; ///< master switch; false == engine absent
+    std::uint64_t seed = 1;
+    DiskFaults disk;
+    ManagerFaults manager;
+    PressureFaults pressure;
+};
+
+/** What the engine decided to do to one manager invocation. */
+enum class ManagerAction
+{
+    None,
+    Stall,
+    Crash,
+    Lie,
+};
+
+const char *managerActionName(ManagerAction a);
+
+/**
+ * Thrown by the kernel on behalf of a manager selected for a crash;
+ * models the manager process dying mid-fault. The kernel's resilient
+ * delivery path contains it; without that path it propagates like any
+ * manager bug would.
+ */
+class InjectedCrash : public std::runtime_error
+{
+  public:
+    explicit InjectedCrash(const std::string &what)
+        : std::runtime_error("injected manager crash: " + what)
+    {}
+};
+
+class Engine
+{
+  public:
+    explicit Engine(const Config &cfg);
+
+    bool enabled() const { return cfg_.enabled; }
+    const Config &config() const { return cfg_; }
+
+    // ------------------------------------------------------------------
+    // Disk layer
+    // ------------------------------------------------------------------
+
+    /** Decide whether this disk read fails. */
+    bool diskReadError();
+
+    /** Decide whether this disk write fails. */
+    bool diskWriteError();
+
+    /** Extra latency for this transfer (0 = no spike). */
+    sim::Duration diskLatencySpike();
+
+    // ------------------------------------------------------------------
+    // Manager layer
+    // ------------------------------------------------------------------
+
+    /** Decide the fate of one manager invocation (one draw). */
+    ManagerAction managerAction();
+
+    sim::Duration managerStallTime() const
+    {
+        return cfg_.manager.stallTime;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-pressure layer
+    // ------------------------------------------------------------------
+
+    /** Frames each SPCM client must shed now (0 = no storm). */
+    std::uint64_t reclaimStorm();
+
+    /** Injection decisions taken so far, per class. */
+    struct Stats
+    {
+        std::uint64_t readErrors = 0;
+        std::uint64_t writeErrors = 0;
+        std::uint64_t latencySpikes = 0;
+        std::uint64_t stalls = 0;
+        std::uint64_t crashes = 0;
+        std::uint64_t lies = 0;
+        std::uint64_t storms = 0;
+
+        void reset() { *this = Stats{}; }
+    };
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    Config cfg_;
+    // One stream per layer: enabling disk faults must not shift the
+    // manager-fault sequence (and vice versa), or sweeping one axis
+    // would silently re-randomise the others.
+    sim::Random diskRng_;
+    sim::Random mgrRng_;
+    sim::Random pressureRng_;
+    Stats stats_;
+};
+
+} // namespace vpp::inject
+
+#endif // VPP_INJECT_INJECT_H

@@ -87,6 +87,20 @@ SystemPageCacheManager::requestPages(ClientId c,
                                      std::vector<kernel::PageIndex> slots,
                                      Constraint constraint)
 {
+    // Injected memory-pressure storm: before serving this request,
+    // force every client to shed frames (a burst of the patrol's
+    // forced reclamation). Runs outside the serial lock because the
+    // reclaim callbacks re-enter through returnPages.
+    if (inject_) {
+        if (std::uint64_t storm = inject_->reclaimStorm()) {
+            ++storms_;
+            for (Client &cl : clients_) {
+                if (cl.reclaim)
+                    co_await cl.reclaim(storm);
+            }
+        }
+    }
+
     Client &client = clients_.at(c);
     co_await kern_->simulation().delay(ipcCost_.send);
     co_await serial_.lock();

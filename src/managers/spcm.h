@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/kernel.h"
+#include "inject/inject.h"
 #include "ipc/port.h"
 #include "sim/sync.h"
 #include "managers/market.h"
@@ -157,6 +158,14 @@ class SystemPageCacheManager
     std::uint64_t framesGranted() const { return framesGranted_; }
     std::uint64_t framesReturned() const { return framesReturned_; }
 
+    /**
+     * Attach a fault-injection engine: each requestPages may then
+     * trigger a reclaim storm that forces every registered client to
+     * shed frames (a burst of the patrol's forced reclamation).
+     */
+    void setInjector(inject::Engine *e) { inject_ = e; }
+    std::uint64_t stormsTriggered() const { return storms_; }
+
   private:
     struct Client
     {
@@ -182,6 +191,8 @@ class SystemPageCacheManager
     std::uint64_t framesReturned_ = 0;
     std::uint64_t pendingDemand_ = 0; ///< unmet frames (contention signal)
     bool patrolRunning_ = false;
+    inject::Engine *inject_ = nullptr;
+    std::uint64_t storms_ = 0;
 };
 
 } // namespace vpp::mgr

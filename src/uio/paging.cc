@@ -16,6 +16,46 @@ entryOrThrow(kernel::Kernel &k, kernel::SegmentId seg,
     return *e;
 }
 
+/**
+ * Charge one server transfer (read or write), absorbing injected disk
+ * errors with bounded retry + doubling backoff. Error-free transfers
+ * take exactly one charge with no extra events.
+ */
+sim::Task<>
+chargeWithRetry(kernel::Kernel &k, FileServer &srv, std::uint64_t bytes,
+                bool is_write, const char *what)
+{
+    sim::Duration backoff = kIoRetryBackoff;
+    for (int attempt = 1;; ++attempt) {
+        // co_await is not permitted inside a catch handler, so the
+        // failure is latched and the backoff runs after the try block.
+        bool failed = false;
+        std::string err;
+        try {
+            if (is_write)
+                co_await srv.chargeWrite(bytes);
+            else
+                co_await srv.chargeRead(bytes);
+        } catch (const hw::DiskError &e) {
+            failed = true;
+            err = e.what();
+        }
+        if (!failed)
+            co_return;
+        ++k.stats().ioErrors;
+        if (attempt >= kMaxIoRetries) {
+            throw kernel::KernelError(
+                kernel::KernelErrc::IoError,
+                std::string(what) + ": " + err + " after " +
+                    std::to_string(attempt) + " attempts");
+        }
+        ++k.stats().ioRetries;
+        srv.disk().noteRetry();
+        co_await k.simulation().delay(backoff);
+        backoff *= 2;
+    }
+}
+
 } // namespace
 
 void
@@ -64,7 +104,7 @@ pageIn(kernel::Kernel &k, FileServer &srv, FileId f,
     for (std::uint32_t i = 0; i < fpp; ++i)
         bufs.push_back(
             srv.shareNow(f, offset + i * std::uint64_t{fs}, fs));
-    co_await srv.chargeRead(ps);
+    co_await chargeWithRetry(k, srv, ps, false, "pageIn");
     kernel::PageEntry &e = entryOrThrow(k, seg, page, "pageIn");
     for (std::uint32_t i = 0; i < fpp; ++i)
         pm.adoptFrame(e.frame + i, std::move(bufs[i]));
@@ -93,7 +133,7 @@ pageOut(kernel::Kernel &k, FileServer &srv, FileId f,
     for (std::uint32_t i = 0; i < fpp; ++i)
         srv.adoptNow(f, offset + i * std::uint64_t{fs}, fs,
                      std::move(bufs[i]));
-    co_await srv.chargeWrite(ps);
+    co_await chargeWithRetry(k, srv, ps, true, "pageOut");
 }
 
 } // namespace vpp::uio

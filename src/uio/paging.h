@@ -25,6 +25,18 @@
 namespace vpp::uio {
 
 /**
+ * Disk-error policy for the charged paths: a failed transfer
+ * (hw::DiskError, injected by vpp::inject) is retried with doubling
+ * backoff up to kMaxIoRetries attempts, then surfaces as
+ * KernelErrc::IoError. Retries and errors are counted in
+ * Kernel::Stats (ioRetries / ioErrors) and on the disk itself.
+ * Without injection the retry wrapper adds no events: timing stays
+ * bit-identical to the error-free path.
+ */
+constexpr int kMaxIoRetries = 4;
+constexpr sim::Duration kIoRetryBackoff = sim::msec(2);
+
+/**
  * Functional page-in with no simulated time: install the file bytes at
  * @p offset into the frames of (@p seg, @p page). Bytes beyond the
  * file's written chunks read as zeroes. The page must be present.

@@ -32,6 +32,9 @@
 // IPC
 #include "ipc/port.h"
 
+// Fault injection
+#include "inject/inject.h"
+
 // The V++ kernel
 #include "core/fault.h"
 #include "core/kernel.h"

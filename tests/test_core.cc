@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -522,6 +523,42 @@ TEST_F(KernelTest, DestroyNotifiesManagerAndSweepsFrames)
     EXPECT_FALSE(kern.segmentExists(seg));
     // TestManager does not reclaim, so the sweep returned both frames.
     EXPECT_EQ(kern.physSegmentFrames(), phys_before + 2);
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST_F(KernelTest, DestroySurvivesManagerCrashInSegmentClosed)
+{
+    // segmentClosed dies partway through: the kernel contains the
+    // crash and the sweep still returns every frame the manager left
+    // behind to the physical segment.
+    class CrashingCloseManager : public TestManager
+    {
+      public:
+        using TestManager::TestManager;
+
+        sim::Task<>
+        segmentClosed(Kernel &k, SegmentId) override
+        {
+            co_await k.simulation().delay(usec(10));
+            throw std::runtime_error("manager died in segmentClosed");
+        }
+    };
+
+    SegmentId free_seg = freeSegment(8);
+    CrashingCloseManager mgr(ManagerMode::SameProcess, free_seg);
+    SegmentId seg =
+        kern.createSegmentNow("app", 4096, 16, kSystemUser, &mgr);
+    Process p("app", 1);
+    runTask(s, kern.touchSegment(p, seg, 0, AccessType::Write));
+    runTask(s, kern.touchSegment(p, seg, 3, AccessType::Write));
+
+    std::uint64_t phys_before = kern.physSegmentFrames();
+    runTask(s, kern.destroySegment(seg)); // must not rethrow
+    EXPECT_FALSE(kern.segmentExists(seg));
+    EXPECT_EQ(kern.physSegmentFrames(), phys_before + 2);
+    EXPECT_EQ(kern.stats().closeFailures, 1u);
+    EXPECT_EQ(mgr.crashes(), 1u);
     std::string why;
     EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
 }

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the fault-injection engine (vpp::inject) and the kernel's
+ * resilience machinery it exercises: deterministic per-layer streams,
+ * disk error/retry accounting, fault redelivery with deadlines,
+ * failover to the default manager with unilateral frame reclamation,
+ * reclaim storms, and the golden-identity property (a disabled engine
+ * is indistinguishable from no engine at all).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/stack.h"
+#include "core/kernel.h"
+#include "hw/disk.h"
+#include "inject/inject.h"
+#include "managers/default_mgr.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+#include "uio/file_server.h"
+#include "uio/paging.h"
+
+namespace vpp::inject {
+namespace {
+
+using kernel::runTask;
+using sim::msec;
+using sim::usec;
+
+hw::MachineConfig
+smallMachine()
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20; // 4096 frames
+    return m;
+}
+
+// ----------------------------------------------------------------------
+// Engine
+// ----------------------------------------------------------------------
+
+TEST(Engine, SameSeedSameDecisionSequence)
+{
+    Config c;
+    c.enabled = true;
+    c.seed = 99;
+    c.disk.readErrorProb = 0.3;
+    c.manager.stallProb = 0.2;
+    c.manager.crashProb = 0.2;
+    c.manager.lieProb = 0.2;
+    c.pressure.stormProb = 0.3;
+    c.pressure.stormFrames = 8;
+
+    Engine a(c), b(c);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.diskReadError(), b.diskReadError());
+        EXPECT_EQ(a.managerAction(), b.managerAction());
+        EXPECT_EQ(a.reclaimStorm(), b.reclaimStorm());
+    }
+    EXPECT_EQ(a.stats().readErrors, b.stats().readErrors);
+    EXPECT_EQ(a.stats().crashes, b.stats().crashes);
+    EXPECT_EQ(a.stats().storms, b.stats().storms);
+}
+
+TEST(Engine, DisabledEngineDecidesNothing)
+{
+    Config c;
+    c.enabled = false; // master switch off, every prob at maximum
+    c.disk.readErrorProb = 1.0;
+    c.disk.writeErrorProb = 1.0;
+    c.disk.latencySpikeProb = 1.0;
+    c.manager.stallProb = 1.0;
+    c.pressure.stormProb = 1.0;
+    c.pressure.stormFrames = 64;
+
+    Engine e(c);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(e.diskReadError());
+        EXPECT_FALSE(e.diskWriteError());
+        EXPECT_EQ(e.diskLatencySpike(), 0);
+        EXPECT_EQ(e.managerAction(), ManagerAction::None);
+        EXPECT_EQ(e.reclaimStorm(), 0u);
+    }
+    EXPECT_EQ(e.stats().readErrors, 0u);
+    EXPECT_EQ(e.stats().stalls, 0u);
+    EXPECT_EQ(e.stats().storms, 0u);
+}
+
+TEST(Engine, LayersDrawFromIndependentStreams)
+{
+    // Enabling disk faults must not shift the manager-action sequence:
+    // each layer has its own stream.
+    Config mgr_only;
+    mgr_only.enabled = true;
+    mgr_only.seed = 7;
+    mgr_only.manager.stallProb = 0.3;
+    mgr_only.manager.crashProb = 0.3;
+
+    Config both = mgr_only;
+    both.disk.readErrorProb = 0.5;
+    both.disk.latencySpikeProb = 0.5;
+
+    Engine a(mgr_only), b(both);
+    for (int i = 0; i < 200; ++i) {
+        b.diskReadError(); // interleave disk draws on b only
+        b.diskLatencySpike();
+        EXPECT_EQ(a.managerAction(), b.managerAction());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Disk layer
+// ----------------------------------------------------------------------
+
+TEST(DiskInjection, ErrorChargedAtIssue)
+{
+    // The failed read still occupied the device: reads()/bytesRead()
+    // are charged when the operation is issued, before the error
+    // verdict arrives with the completion interrupt.
+    sim::Simulation s;
+    hw::Disk disk(s, msec(15), 1.0);
+
+    Config c;
+    c.enabled = true;
+    c.seed = 5;
+    c.disk.readErrorProb = 1.0;
+    Engine eng(c);
+    disk.setInjector(&eng);
+
+    EXPECT_THROW(runTask(s, disk.read(4096)), hw::DiskError);
+    EXPECT_EQ(disk.reads(), 1u);
+    EXPECT_EQ(disk.bytesRead(), 4096u);
+    EXPECT_EQ(disk.errors(), 1u);
+    EXPECT_GT(disk.busyTime(), 0);
+}
+
+TEST(DiskInjection, PagingRetriesUntilExhaustion)
+{
+    // Every transfer fails: pageIn retries kMaxIoRetries times with
+    // backoff, then surfaces KernelErrc::IoError; both the kernel and
+    // the disk account each attempt.
+    sim::Simulation s;
+    kernel::Kernel kern(s, smallMachine());
+    hw::Disk disk(s, msec(15), 1.0);
+    uio::FileServer server(s, disk, usec(200));
+    uio::FileId f = server.createFile("data", 64 * 4096);
+
+    kernel::SegmentId seg =
+        kern.createSegmentNow("buf", 4096, 16, kernel::kSystemUser);
+    kern.migratePagesNow(kernel::kPhysSegment, seg, 0, 0, 1,
+                         kernel::flag::kReadable |
+                             kernel::flag::kWritable,
+                         0);
+
+    Config c;
+    c.enabled = true;
+    c.seed = 5;
+    c.disk.readErrorProb = 1.0;
+    Engine eng(c);
+    disk.setInjector(&eng);
+
+    try {
+        runTask(s, uio::pageIn(kern, server, f, 0, seg, 0));
+        FAIL() << "pageIn should exhaust its retries";
+    } catch (const kernel::KernelError &e) {
+        EXPECT_EQ(e.code(), kernel::KernelErrc::IoError);
+    }
+    EXPECT_EQ(kern.stats().ioErrors,
+              static_cast<std::uint64_t>(uio::kMaxIoRetries));
+    EXPECT_EQ(kern.stats().ioRetries,
+              static_cast<std::uint64_t>(uio::kMaxIoRetries - 1));
+    EXPECT_EQ(disk.errors(),
+              static_cast<std::uint64_t>(uio::kMaxIoRetries));
+    EXPECT_EQ(disk.retries(),
+              static_cast<std::uint64_t>(uio::kMaxIoRetries - 1));
+}
+
+TEST(DiskInjection, PagingRetryRecoversFromTransientError)
+{
+    // The first transfer fails, then the fault clears (the injector is
+    // detached while the retry backoff elapses): pageIn succeeds and
+    // records exactly one error and one retry.
+    sim::Simulation s;
+    kernel::Kernel kern(s, smallMachine());
+    hw::Disk disk(s, msec(15), 1.0);
+    uio::FileServer server(s, disk, usec(200));
+    uio::FileId f = server.createFile("data", 64 * 4096);
+
+    kernel::SegmentId seg =
+        kern.createSegmentNow("buf", 4096, 16, kernel::kSystemUser);
+    kern.migratePagesNow(kernel::kPhysSegment, seg, 0, 0, 1,
+                         kernel::flag::kReadable |
+                             kernel::flag::kWritable,
+                         0);
+
+    Config c;
+    c.enabled = true;
+    c.seed = 5;
+    c.disk.readErrorProb = 1.0;
+    Engine eng(c);
+    disk.setInjector(&eng);
+    // One full transfer takes ~19 ms (latency + 4 KB at 1 MB/s); the
+    // retry waits kIoRetryBackoff first, so detaching at 20 ms lands
+    // between the first failure and the second attempt.
+    s.schedule(msec(20), [&disk] { disk.setInjector(nullptr); });
+
+    runTask(s, uio::pageIn(kern, server, f, 0, seg, 0));
+    EXPECT_EQ(kern.stats().ioErrors, 1u);
+    EXPECT_EQ(kern.stats().ioRetries, 1u);
+    EXPECT_EQ(disk.errors(), 1u);
+    EXPECT_EQ(disk.retries(), 1u);
+}
+
+// ----------------------------------------------------------------------
+// Manager layer: redelivery, deadline, failover
+// ----------------------------------------------------------------------
+
+struct ResilienceRig
+{
+    ResilienceRig()
+        : kern(s, smallMachine()), spcm(kern, std::nullopt),
+          flaky(kern, "flaky", hw::ManagerMode::SameProcess, &spcm, 1),
+          fallback(kern, "fallback", hw::ManagerMode::SameProcess,
+                   &spcm, kernel::kSystemUser),
+          proc("p", 1)
+    {
+        flaky.initNow(128, 64);
+        fallback.initNow(128, 64);
+        seg = kern.createSegmentNow("app", 4096, 64, 1, &flaky);
+    }
+
+    kernel::ResiliencePolicy
+    policy(int redeliveries, sim::Duration deadline, bool failover)
+    {
+        kernel::ResiliencePolicy p;
+        p.enabled = true;
+        p.faultDeadline = deadline;
+        p.maxRedeliveries = redeliveries;
+        p.retryBackoff = usec(100);
+        p.failover = failover;
+        return p;
+    }
+
+    sim::Simulation s;
+    kernel::Kernel kern;
+    mgr::SystemPageCacheManager spcm;
+    mgr::GenericSegmentManager flaky;
+    mgr::GenericSegmentManager fallback;
+    kernel::Process proc;
+    kernel::SegmentId seg = 0;
+};
+
+TEST(Resilience, StallWithinDeadlineResolves)
+{
+    ResilienceRig r;
+    r.kern.setResiliencePolicy(r.policy(3, msec(300), false));
+
+    Config c;
+    c.enabled = true;
+    c.seed = 11;
+    c.manager.stallProb = 1.0;
+    c.manager.stallTime = msec(200);
+    Engine eng(c);
+    r.kern.setInjector(&eng);
+
+    runTask(r.s, r.kern.touchSegment(r.proc, r.seg, 0,
+                                     kernel::AccessType::Write));
+    const auto &st = r.kern.stats();
+    EXPECT_EQ(st.injectedStalls, 1u);
+    EXPECT_EQ(st.faultTimeouts, 0u);
+    EXPECT_EQ(st.faultRedeliveries, 0u);
+    EXPECT_GE(st.faultLatencyMax, msec(200));
+}
+
+TEST(Resilience, UnresponsiveManagerWithoutFailoverThrows)
+{
+    // Every attempt stalls past the deadline and redelivery is
+    // exhausted before any stalled attempt wakes: with failover off
+    // the kernel reports the manager unresponsive.
+    ResilienceRig r;
+    r.kern.setResiliencePolicy(r.policy(2, msec(50), false));
+
+    Config c;
+    c.enabled = true;
+    c.seed = 11;
+    c.manager.stallProb = 1.0;
+    c.manager.stallTime = msec(500);
+    Engine eng(c);
+    r.kern.setInjector(&eng);
+
+    try {
+        runTask(r.s, r.kern.touchSegment(r.proc, r.seg, 0,
+                                         kernel::AccessType::Write));
+        FAIL() << "expected ManagerUnresponsive";
+    } catch (const kernel::KernelError &e) {
+        EXPECT_EQ(e.code(), kernel::KernelErrc::ManagerUnresponsive);
+    }
+    const auto &st = r.kern.stats();
+    EXPECT_EQ(st.faultTimeouts, 3u);   // initial attempt + 2 retries
+    EXPECT_EQ(st.faultRedeliveries, 2u);
+    EXPECT_EQ(r.flaky.faultTimeouts(), 3u);
+    // Drain the stalled attempts; exactly one installs the page, the
+    // later ones see the fault resolved and step aside.
+    r.s.run();
+    std::string why;
+    EXPECT_TRUE(r.kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST(Resilience, CrashFailoverReclaimsAndReassigns)
+{
+    ResilienceRig r;
+    r.kern.setDefaultManager(&r.fallback);
+    r.kern.setResiliencePolicy(r.policy(1, msec(50), true));
+
+    // Build up clean, reclaimable state before the campaign starts.
+    for (kernel::PageIndex p = 0; p < 4; ++p)
+        runTask(r.s, r.kern.touchSegment(r.proc, r.seg, p,
+                                         kernel::AccessType::Read));
+
+    Config c;
+    c.enabled = true;
+    c.seed = 3;
+    c.manager.crashProb = 1.0;
+    Engine eng(c);
+    r.kern.setInjector(&eng);
+
+    runTask(r.s, r.kern.touchSegment(r.proc, r.seg, 10,
+                                     kernel::AccessType::Read));
+    const auto &st = r.kern.stats();
+    EXPECT_EQ(st.failovers, 1u);
+    EXPECT_EQ(st.managerCrashes, 2u); // initial attempt + 1 retry
+    EXPECT_EQ(r.flaky.crashes(), 2u);
+    EXPECT_EQ(r.flaky.failovers(), 1u);
+    // The kernel took the clean pages away from the crashing manager
+    // and the segment now belongs to the default manager — for this
+    // fault and all future ones.
+    EXPECT_EQ(st.framesReclaimed, 4u);
+    EXPECT_EQ(r.kern.segment(r.seg).manager(), &r.fallback);
+    EXPECT_TRUE(r.kern.segment(r.seg).findPage(10) != nullptr);
+
+    const std::uint64_t fallback_calls = r.fallback.calls();
+    runTask(r.s, r.kern.touchSegment(r.proc, r.seg, 0,
+                                     kernel::AccessType::Read));
+    EXPECT_GT(r.fallback.calls(), fallback_calls);
+    std::string why;
+    EXPECT_TRUE(r.kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST(Resilience, LyingManagerFailsOverAfterRedelivery)
+{
+    // A lying handler returns "resolved" without doing anything;
+    // the kernel's resolution check catches it every time and the
+    // fault eventually fails over.
+    ResilienceRig r;
+    r.kern.setDefaultManager(&r.fallback);
+    r.kern.setResiliencePolicy(r.policy(2, msec(50), true));
+
+    Config c;
+    c.enabled = true;
+    c.seed = 17;
+    c.manager.lieProb = 1.0;
+    Engine eng(c);
+    r.kern.setInjector(&eng);
+
+    runTask(r.s, r.kern.touchSegment(r.proc, r.seg, 0,
+                                     kernel::AccessType::Write));
+    const auto &st = r.kern.stats();
+    EXPECT_EQ(st.injectedLies, 3u); // initial attempt + 2 retries
+    EXPECT_EQ(st.faultRedeliveries, 2u);
+    EXPECT_EQ(st.failovers, 1u);
+    EXPECT_TRUE(r.kern.segment(r.seg).findPage(0) != nullptr);
+}
+
+// ----------------------------------------------------------------------
+// Memory-pressure layer
+// ----------------------------------------------------------------------
+
+TEST(Pressure, ReclaimStormForcesClientsToSurrender)
+{
+    sim::Simulation s;
+    kernel::Kernel kern(s, smallMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager hoarder(
+        kern, "hoarder", hw::ManagerMode::SameProcess, &spcm, 1);
+    hoarder.initNow(64, 32);
+
+    Config c;
+    c.enabled = true;
+    c.seed = 23;
+    c.pressure.stormProb = 1.0;
+    c.pressure.stormFrames = 8;
+    Engine eng(c);
+    spcm.setInjector(&eng);
+
+    mgr::ClientId probe = spcm.registerClient("probe", 2, 0.0);
+    kernel::SegmentId dst =
+        kern.createSegmentNow("dst", 4096, 8, 2);
+    std::uint64_t got =
+        runTask(s, spcm.requestPages(probe, dst, {0, 1, 2, 3}));
+
+    EXPECT_EQ(got, 4u);
+    EXPECT_EQ(spcm.stormsTriggered(), 1u);
+    EXPECT_EQ(hoarder.freePages(), 24u); // surrendered 8 of 32
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+// ----------------------------------------------------------------------
+// Golden identity: disabled == absent
+// ----------------------------------------------------------------------
+
+sim::Task<>
+goldenWorkload(apps::VppStack &st, kernel::SegmentId seg)
+{
+    kernel::Process proc("app", 1);
+    sim::Random rng(404);
+    for (int i = 0; i < 200; ++i) {
+        kernel::PageIndex page =
+            static_cast<kernel::PageIndex>(rng.below(64));
+        kernel::AccessType a = rng.chance(0.5)
+                                   ? kernel::AccessType::Write
+                                   : kernel::AccessType::Read;
+        co_await st.kern.touchSegment(proc, seg, page, a);
+    }
+    co_await st.ucds.clockPass(16);
+}
+
+TEST(GoldenIdentity, DisabledEngineMatchesAbsentEngine)
+{
+    // An attached-but-disabled engine must be a structural no-op:
+    // identical simulated time, fault counts and disk activity as no
+    // engine at all — this is what keeps every committed baseline
+    // byte-identical.
+    auto run = [](bool attach_disabled_engine) {
+        hw::MachineConfig m = smallMachine();
+        apps::VppStack st(m);
+        st.kern.setResiliencePolicy(kernel::ResiliencePolicy{
+            .enabled = true});
+
+        Config c;
+        c.enabled = false;
+        c.disk.readErrorProb = 1.0; // would be chaos if consulted
+        c.manager.stallProb = 1.0;
+        c.pressure.stormProb = 1.0;
+        c.pressure.stormFrames = 64;
+        Engine eng(c);
+        if (attach_disabled_engine) {
+            st.disk.setInjector(&eng);
+            st.kern.setInjector(&eng);
+            st.spcm.setInjector(&eng);
+        }
+
+        uio::FileId f = st.server.createFile("g", 64 * 4096);
+        kernel::SegmentId seg = runTask(st.sim, st.ucds.openFile(f));
+        runTask(st.sim, goldenWorkload(st, seg));
+        return std::tuple(st.sim.now(), st.kern.stats().faults,
+                          st.disk.reads(), st.disk.busyTime());
+    };
+
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace vpp::inject

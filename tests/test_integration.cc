@@ -15,6 +15,7 @@
 #include "apps/stack.h"
 #include "appmgr/swap_mgr.h"
 #include "core/kernel.h"
+#include "inject/inject.h"
 #include "sim/random.h"
 
 namespace vpp {
@@ -426,6 +427,75 @@ TEST_P(StackStress, InvariantsSurviveChaoticWorkload)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StackStress,
                          ::testing::Values(11, 23, 47, 89, 179));
+
+// ----------------------------------------------------------------------
+// Fault injection end to end
+// ----------------------------------------------------------------------
+
+TEST(InjectionE2E, WorkloadSurvivesFaultyManagerAndDisk)
+{
+    // The paper's safety claim, end to end: with an application
+    // manager that stalls, crashes and lies, and a disk that throws
+    // transient errors, every access still completes — redelivery and
+    // failover keep the machine running, and the frame invariant
+    // holds throughout.
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 32 << 20;
+    apps::VppStack stack(m);
+
+    mgr::DefaultSegmentManager app_mgr(stack.kern, &stack.spcm,
+                                       stack.server, stack.registry);
+    app_mgr.initNow(1024, 128);
+    stack.kern.setDefaultManager(&stack.ucds);
+    kernel::ResiliencePolicy pol;
+    pol.enabled = true;
+    pol.faultDeadline = sim::msec(120);
+    pol.maxRedeliveries = 2;
+    pol.retryBackoff = sim::msec(1);
+    stack.kern.setResiliencePolicy(pol);
+
+    inject::Config ic;
+    ic.enabled = true;
+    ic.seed = 2026;
+    ic.disk.readErrorProb = 0.02;
+    ic.disk.writeErrorProb = 0.02;
+    ic.disk.latencySpikeProb = 0.02;
+    ic.manager.stallProb = 0.20;
+    ic.manager.crashProb = 0.20;
+    ic.manager.lieProb = 0.10;
+    inject::Engine eng(ic);
+    stack.disk.setInjector(&eng);
+    stack.kern.setInjector(&eng);
+    stack.spcm.setInjector(&eng);
+
+    uio::FileId f = stack.server.createFile("data", 256 * 4096);
+    kernel::SegmentId seg =
+        runTask(stack.sim, app_mgr.openFile(f));
+    kernel::Process proc("app", 1);
+    sim::Random rng(7);
+    int completed = 0;
+    for (int i = 0; i < 400; ++i) {
+        kernel::PageIndex p =
+            static_cast<kernel::PageIndex>(rng.below(256));
+        AccessType a =
+            rng.chance(0.25) ? AccessType::Write : AccessType::Read;
+        runTask(stack.sim,
+                stack.kern.touchSegment(proc, seg, p, a));
+        ++completed;
+        if (i % 100 == 99) {
+            std::string why;
+            ASSERT_TRUE(stack.kern.checkFrameInvariant(&why))
+                << "access " << i << ": " << why;
+        }
+    }
+    EXPECT_EQ(completed, 400);
+    const auto &st = stack.kern.stats();
+    EXPECT_GT(st.injectedStalls + st.injectedLies + st.managerCrashes,
+              0u);
+    EXPECT_GT(st.faultRedeliveries, 0u);
+    std::string why;
+    EXPECT_TRUE(stack.kern.checkFrameInvariant(&why)) << why;
+}
 
 } // namespace
 } // namespace vpp

@@ -462,6 +462,52 @@ TEST_F(GenericTest, SegmentCloseReclaimsAllPages)
 // DefaultSegmentManager clock
 // ----------------------------------------------------------------------
 
+TEST_F(GenericTest, ResetStatsClearsResilienceCountersBetweenRows)
+{
+    // The sweep runner reuses nothing across rows, but a manager
+    // embedded in a long-lived harness is reset at row boundaries:
+    // resetStats must clear the failure-path counters (timeouts,
+    // failovers, crashes) along with the classic call counts, so the
+    // second row observes exactly what the first row did.
+    kernel::SegmentId seg =
+        kern.createSegmentNow("data", 4096, 64, 1, &mgr);
+
+    // One "row": fault in a fresh page and record failure-path events
+    // the way the kernel's resilient delivery would.
+    kernel::PageIndex next = 0;
+    auto row = [&] {
+        runTask(s, kern.touchSegment(proc, seg, next++,
+                                     kernel::AccessType::Write));
+        mgr.noteTimeout();
+        mgr.noteTimeout();
+        mgr.noteFailover();
+        mgr.noteCrash();
+    };
+
+    row();
+    EXPECT_EQ(mgr.calls(), 1u);
+    EXPECT_EQ(mgr.faultsHandled(), 1u);
+    EXPECT_EQ(mgr.faultTimeouts(), 2u);
+    EXPECT_EQ(mgr.failovers(), 1u);
+    EXPECT_EQ(mgr.crashes(), 1u);
+
+    mgr.resetStats();
+    EXPECT_EQ(mgr.calls(), 0u);
+    EXPECT_EQ(mgr.faultsHandled(), 0u);
+    EXPECT_EQ(mgr.faultTimeouts(), 0u);
+    EXPECT_EQ(mgr.failovers(), 0u);
+    EXPECT_EQ(mgr.crashes(), 0u);
+
+    // The second row starts from zero and reproduces the first row's
+    // counts exactly.
+    row();
+    EXPECT_EQ(mgr.calls(), 1u);
+    EXPECT_EQ(mgr.faultsHandled(), 1u);
+    EXPECT_EQ(mgr.faultTimeouts(), 2u);
+    EXPECT_EQ(mgr.failovers(), 1u);
+    EXPECT_EQ(mgr.crashes(), 1u);
+}
+
 class ClockTest : public ::testing::Test
 {
   protected:
