@@ -123,6 +123,37 @@ BM_ResolveThroughBindings(benchmark::State &state)
 BENCHMARK(BM_ResolveThroughBindings);
 
 void
+BM_ResolveHashedHit(benchmark::State &state)
+{
+    // Steady-state hit path of the hashed resolve() front-cache: the
+    // working set (128 pages, two binding hops deep) fits the cache,
+    // so after warm-up nearly every lookup is answered without walking
+    // the sorted-binding chain. Contrast with
+    // BM_ResolveThroughBindings, whose 256-page cycle thrashes it.
+    sim::Simulation s;
+    kernel::Kernel kern(s, benchMachine());
+    kernel::SegmentId file =
+        kern.createSegmentNow("file", 4096, 256, 0);
+    kern.migratePagesNow(kernel::kPhysSegment, file, 0, 0, 256, 0, 0);
+    kernel::SegmentId data =
+        kern.createSegmentNow("data", 4096, 256, 0);
+    kern.bindRegionNow(data, 0, 256, file, 0, kernel::flag::kProtMask,
+                       true);
+    kernel::SegmentId va = kern.createSegmentNow("va", 4096, 256, 0);
+    kern.bindRegionNow(va, 0, 256, data, 0, kernel::flag::kProtMask);
+    for (std::uint64_t p = 0; p < 128; ++p)
+        benchmark::DoNotOptimize(kern.resolve(va, p).entry);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        auto r = kern.resolve(va, p % 128);
+        benchmark::DoNotOptimize(r.entry);
+        ++p;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResolveHashedHit);
+
+void
 BM_FullFaultPath(benchmark::State &state)
 {
     sim::Simulation s;
@@ -138,13 +169,15 @@ BM_FullFaultPath(benchmark::State &state)
     for (auto _ : state) {
         if (manager.freePages() == 0) {
             state.PauseTiming();
-            // Recycle: reclaim everything allocated so far.
+            // Recycle: reclaim everything allocated so far and restart
+            // from page 0 so long runs never hit the segment limit.
             std::vector<kernel::PageIndex> pages;
             pages.reserve(kern.segment(seg).pages().size());
             for (const auto &[pg, e] : kern.segment(seg).pages())
                 pages.push_back(pg);
             for (auto pg : pages)
                 kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
+            page = 0;
             state.ResumeTiming();
         }
         kernel::runTask(s, kern.touchSegment(
@@ -154,6 +187,50 @@ BM_FullFaultPath(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullFaultPath);
+
+void
+BM_FaultBatch(benchmark::State &state)
+{
+    // Batched fault delivery (MachineConfig::faultCoalescing): N
+    // faults raised at the same instant against one manager share a
+    // single dispatch crossing. Items are faults, so the per-fault
+    // host cost is directly comparable with BM_FullFaultPath.
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    sim::Simulation s;
+    hw::MachineConfig m = benchMachine();
+    m.faultCoalescing = true;
+    kernel::Kernel kern(s, m);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(8192, 4096);
+    kernel::SegmentId seg =
+        kern.createSegmentNow("heap", 4096, 1 << 20, 1, &manager);
+    kernel::Process proc("p", 1);
+    kernel::PageIndex page = 0;
+    for (auto _ : state) {
+        if (manager.freePages() < n) {
+            state.PauseTiming();
+            std::vector<kernel::PageIndex> pages;
+            pages.reserve(kern.segment(seg).pages().size());
+            for (const auto &[pg, e] : kern.segment(seg).pages())
+                pages.push_back(pg);
+            for (auto pg : pages)
+                kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
+            page = 0;
+            state.ResumeTiming();
+        }
+        std::vector<sim::Task<>> touches;
+        touches.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            touches.push_back(kern.touchSegment(
+                proc, seg, page++, kernel::AccessType::Write));
+        }
+        kernel::runTask(s, sim::joinAll(s, std::move(touches)));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FaultBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void
 BM_FaultRedeliver(benchmark::State &state)
@@ -198,6 +275,7 @@ BM_FaultRedeliver(benchmark::State &state)
                 pages.push_back(pg);
             for (auto pg : pages)
                 kernel::runTask(s, manager.reclaimPage(kern, seg, pg));
+            page = 0;
             state.ResumeTiming();
         }
         kernel::runTask(s, kern.touchSegment(

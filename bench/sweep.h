@@ -24,6 +24,7 @@
 #define VPP_BENCH_SWEEP_H
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,15 @@
 #include "hw/disk.h"
 #include "hw/physmem.h"
 #include "sim/runner.h"
+
+// Thread-local resolve() front-cache counters (core/kernel.cc),
+// forward-declared so the sweep layer does not drag the whole kernel
+// header into every driver.
+namespace vpp::kernel {
+void resetThreadResolveCounters();
+std::uint64_t threadResolveHits();
+std::uint64_t threadResolveMisses();
+} // namespace vpp::kernel
 
 namespace vppbench {
 
@@ -141,6 +151,8 @@ class Sweep
         committedPeak_.assign(jobs_.size(), 0);
         diskErrors_.assign(jobs_.size(), 0);
         diskRetries_.assign(jobs_.size(), 0);
+        resolveHits_.assign(jobs_.size(), 0);
+        resolveMisses_.assign(jobs_.size(), 0);
         vpp::sim::Runner runner(opt_.jobs);
         if (opt_.progress) {
             runner.setProgress([this](std::size_t d, std::size_t t) {
@@ -158,10 +170,13 @@ class Sweep
                 // this row's simulated committed-memory peak.
                 vpp::hw::resetThreadCommittedPeak();
                 vpp::hw::resetThreadDiskCounters();
+                vpp::kernel::resetThreadResolveCounters();
                 results_[i] = jobs_[i]();
                 committedPeak_[i] = vpp::hw::threadPeakCommittedBytes();
                 diskErrors_[i] = vpp::hw::threadDiskErrors();
                 diskRetries_[i] = vpp::hw::threadDiskRetries();
+                resolveHits_[i] = vpp::kernel::threadResolveHits();
+                resolveMisses_[i] = vpp::kernel::threadResolveMisses();
             });
         }
         runner.wait();
@@ -199,21 +214,33 @@ class Sweep
                                   static_cast<unsigned long long>(
                                       diskRetries_[i]));
                 }
+                // Hashed resolve() front-cache traffic rides along the
+                // same way (stderr only; never part of the diffed
+                // stdout/JSON).
+                char rc[64] = "";
+                if (resolveHits_[i] || resolveMisses_[i]) {
+                    std::snprintf(rc, sizeof(rc),
+                                  ", resolve hit %llu/miss %llu",
+                                  static_cast<unsigned long long>(
+                                      resolveHits_[i]),
+                                  static_cast<unsigned long long>(
+                                      resolveMisses_[i]));
+                }
                 if (s.peakHeapBytes >= 0) {
                     std::fprintf(
                         stderr,
                         "  %-36s %7.3f s host, peak heap %.1f MB, "
-                        "sim committed %.1f MB%s\n",
+                        "sim committed %.1f MB%s%s\n",
                         labels_[i].c_str(), s.hostSeconds,
                         static_cast<double>(s.peakHeapBytes) /
                             (1024.0 * 1024.0),
-                        committed, disk);
+                        committed, disk, rc);
                 } else {
                     std::fprintf(stderr,
                                  "  %-36s %7.3f s host, "
-                                 "sim committed %.1f MB%s\n",
+                                 "sim committed %.1f MB%s%s\n",
                                  labels_[i].c_str(), s.hostSeconds,
-                                 committed, disk);
+                                 committed, disk, rc);
                 }
             }
         }
@@ -303,6 +330,8 @@ class Sweep
     std::vector<std::int64_t> committedPeak_; ///< simulated bytes per row
     std::vector<std::uint64_t> diskErrors_;   ///< injected failures per row
     std::vector<std::uint64_t> diskRetries_;  ///< paging retries per row
+    std::vector<std::uint64_t> resolveHits_;  ///< resolve-cache hits per row
+    std::vector<std::uint64_t> resolveMisses_; ///< and misses per row
     std::size_t failures_ = 0;
 };
 

@@ -15,9 +15,11 @@
 # baseline (new benchmarks absent from the baseline are reported but
 # do not fail), 1 otherwise. A fixed set of required benchmarks —
 # the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
-# BM_PageInOut) and the resilience path (BM_FaultRedeliver) — must be
-# present in the fresh run; their absence fails the gate even if
-# everything that did run was fast enough.
+# BM_PageInOut), the fault path (BM_FullFaultPath, BM_FaultBatch,
+# BM_FaultRedeliver) and the resolve path (BM_ResolveThroughBindings,
+# BM_ResolveHashedHit) — must be present in the fresh run; their
+# absence fails the gate even if everything that did run was fast
+# enough.
 
 set -eu
 
@@ -66,33 +68,50 @@ def times(path):
 
 base, new = times(base_path), times(new_path)
 failed = []
+missing = []
 
-# Frame-store hot paths must stay benchmarked; a rename or deletion
-# that silently drops one of these would blind the gate.
+# Hot paths must stay benchmarked; a rename or deletion that silently
+# drops one of these would blind the gate.
 required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
-            "BM_FaultRedeliver"]
+            "BM_FullFaultPath", "BM_FaultBatch", "BM_FaultRedeliver",
+            "BM_ResolveThroughBindings", "BM_ResolveHashedHit"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
-        print(f"  MISSING {name}: required benchmark not in fresh run")
-        failed.append(name)
+        missing.append(name)
+
+wide = max((len(n) for n in new), default=20) + 2
+print(f"  {'benchmark':<{wide}} {'old ns':>12} {'new ns':>12} "
+      f"{'ratio':>8}  status")
 for name, (t_new, unit) in sorted(new.items()):
     if name not in base:
-        print(f"  NEW   {name}: {t_new:.1f} {unit} (no baseline)")
+        print(f"  {name:<{wide}} {'-':>12} {t_new:>12.1f} "
+              f"{'-':>8}  NEW (no baseline)")
         continue
     t_base, base_unit = base[name]
     if base_unit != unit:
-        print(f"  SKIP  {name}: unit changed {base_unit} -> {unit}")
+        print(f"  {name:<{wide}} {'-':>12} {'-':>12} {'-':>8}  "
+              f"SKIP (unit {base_unit} -> {unit})")
         continue
     ratio = t_new / t_base if t_base else float("inf")
     status = "OK" if ratio <= 1.0 + tol else "SLOW"
-    print(f"  {status:5s} {name}: {t_base:.1f} -> {t_new:.1f} {unit} "
-          f"({ratio:+.1%} of baseline)".replace("+", ""))
+    print(f"  {name:<{wide}} {t_base:>12.1f} {t_new:>12.1f} "
+          f"{ratio:>7.2f}x  {status}")
     if status == "SLOW":
         failed.append(name)
 
-if failed:
-    print(f"\nFAIL: {len(failed)} benchmark(s) regressed beyond "
-          f"{tol:.0%} or missing: {', '.join(failed)}")
+for name in missing:
+    print(f"  MISSING {name}: required benchmark not in fresh run "
+          f"(renamed or deleted?)")
+
+if failed or missing:
+    parts = []
+    if failed:
+        parts.append(f"{len(failed)} regressed beyond {tol:.0%} "
+                     f"({', '.join(failed)})")
+    if missing:
+        parts.append(f"{len(missing)} required missing "
+                     f"({', '.join(missing)})")
+    print(f"\nFAIL: {'; '.join(parts)}")
     sys.exit(1)
 print(f"\nOK: all benchmarks within {tol:.0%} of baseline")
 EOF

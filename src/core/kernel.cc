@@ -53,36 +53,24 @@ Kernel::Kernel(sim::Simulation &s, const hw::MachineConfig &config)
             PageEntry{f, flag::kReadable | flag::kWritable};
         frames_[f] = FrameOwner{kPhysSegment, f, kSystemUser};
     }
+    byId_.push_back(phys.get());
     segments_[kPhysSegment] = std::move(phys);
     nextSegment_ = 1;
     if (config_.modelTlb)
         tlb_ = std::make_unique<hw::Tlb>(config_.tlbEntries);
 }
 
-Segment &
-Kernel::segmentOrThrow(SegmentId s)
+void
+Kernel::throwBadSegment(SegmentId s)
 {
-    auto it = segments_.find(s);
-    if (it == segments_.end())
-        throw KernelError(KernelErrc::BadSegment,
-                          "segment " + std::to_string(s));
-    return *it->second;
-}
-
-const Segment &
-Kernel::segmentOrThrow(SegmentId s) const
-{
-    auto it = segments_.find(s);
-    if (it == segments_.end())
-        throw KernelError(KernelErrc::BadSegment,
-                          "segment " + std::to_string(s));
-    return *it->second;
+    throw KernelError(KernelErrc::BadSegment,
+                      "segment " + std::to_string(s));
 }
 
 bool
 Kernel::segmentExists(SegmentId s) const
 {
-    return segments_.count(s) != 0;
+    return s < byId_.size() && byId_[s] != nullptr;
 }
 
 Segment &
@@ -137,6 +125,9 @@ Kernel::createSegmentNow(std::string name, std::uint32_t page_size,
     auto seg = std::make_unique<Segment>(id, std::move(name), page_size,
                                          page_limit, owner);
     seg->setManager(mgr);
+    if (id >= byId_.size())
+        byId_.resize(id + 1, nullptr);
+    byId_[id] = seg.get();
     segments_[id] = std::move(seg);
     ++stats_.segmentsCreated;
     return id;
@@ -220,6 +211,54 @@ Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
                         dst_page + pages <= src_page)) {
         throw KernelError(KernelErrc::PageBusy,
                           "overlapping self-migration");
+    }
+
+    // Single same-sized-page migration is the shape every fault-time
+    // frame grant takes; it needs none of the staging vectors or the
+    // contiguity analysis below.
+    if (pages == 1 && s.pageSize() == d.pageSize()) {
+        if (src_page >= s.pageLimit())
+            throw KernelError(KernelErrc::LimitExceeded, "source range");
+        if (dst_page >= d.pageLimit())
+            throw KernelError(KernelErrc::LimitExceeded,
+                              "destination range");
+        PageEntry *se = s.findPage(src_page);
+        if (!se) {
+            throw KernelError(KernelErrc::PageMissing,
+                              "source page " + std::to_string(src_page));
+        }
+        if (d.findPage(dst_page)) {
+            throw KernelError(KernelErrc::PageBusy,
+                              "destination page " +
+                                  std::to_string(dst_page));
+        }
+        const std::uint32_t fpp = framesPerPage(d);
+        std::uint32_t fl = (se->flags | set_flags) & ~clear_flags;
+        const hw::FrameId base = se->frame;
+        s.pages().erase(src_page);
+        std::uint64_t zeroed = 0;
+        if (fl & flag::kZeroFill) {
+            memory_.zeroRange(base, fpp);
+            zeroed = d.pageSize();
+            fl &= ~(flag::kZeroFill | flag::kDirty);
+        }
+        d.pages()[dst_page] = PageEntry{base, fl};
+        for (std::uint32_t fi = 0; fi < fpp; ++fi) {
+            FrameOwner &owner = frames_[base + fi];
+            owner.segment = dst;
+            owner.page = dst_page;
+            if (d.owner() != kSystemUser)
+                owner.lastUser = d.owner();
+        }
+        if (zeroed) {
+            ++stats_.zeroFills;
+            stats_.bytesZeroed += zeroed;
+        }
+        if (bytes_zeroed)
+            *bytes_zeroed = zeroed;
+        ++stats_.pagesMigrated;
+        invalidateResolutions();
+        return 1;
     }
 
     const std::uint64_t total_bytes =
@@ -497,6 +536,7 @@ Kernel::destroySegment(SegmentId seg)
     sweepToPhysSegment(s);
     for (const auto &b : s.bindings())
         --bindRefs_[b.target];
+    byId_[seg] = nullptr;
     segments_.erase(seg);
     bindRefs_.erase(seg);
     ++stats_.segmentsDestroyed;
@@ -527,13 +567,35 @@ Kernel::sweepToPhysSegment(Segment &seg)
 // Fault path
 // ----------------------------------------------------------------------
 
-Kernel::Resolution
-Kernel::resolve(SegmentId seg, PageIndex page)
-{
-    Segment &origin = segmentOrThrow(seg);
-    if (const Resolution *c = origin.cachedResolution(page, resolveEpoch_))
-        return *c;
+namespace {
 
+thread_local std::uint64_t tlResolveHits = 0;
+thread_local std::uint64_t tlResolveMisses = 0;
+
+} // namespace
+
+void
+resetThreadResolveCounters()
+{
+    tlResolveHits = 0;
+    tlResolveMisses = 0;
+}
+
+std::uint64_t
+threadResolveHits()
+{
+    return tlResolveHits;
+}
+
+std::uint64_t
+threadResolveMisses()
+{
+    return tlResolveMisses;
+}
+
+Kernel::Resolution
+Kernel::walkResolution(Segment &origin, SegmentId seg, PageIndex page)
+{
     Resolution r;
     SegmentId cur_seg = seg;
     PageIndex cur_page = page;
@@ -548,7 +610,6 @@ Kernel::resolve(SegmentId seg, PageIndex page)
             r.seg = cur_seg;
             r.page = cur_page;
             r.entry = e;
-            origin.storeResolution(page, r, resolveEpoch_);
             return r;
         }
         const Binding *b = s.findBinding(cur_page);
@@ -556,7 +617,6 @@ Kernel::resolve(SegmentId seg, PageIndex page)
             r.present = false;
             r.seg = cur_seg;
             r.page = cur_page;
-            origin.storeResolution(page, r, resolveEpoch_);
             return r;
         }
         r.regionProt &= b->prot;
@@ -569,6 +629,34 @@ Kernel::resolve(SegmentId seg, PageIndex page)
         cur_page = b->targetStart + (cur_page - b->start);
     }
     throw KernelError(KernelErrc::BadSegment, "binding chain too deep");
+}
+
+Kernel::Resolution
+Kernel::resolve(SegmentId seg, PageIndex page)
+{
+    Segment &origin = segmentOrThrow(seg);
+    if (const Resolution *c =
+            origin.cachedResolution(page, resolveEpoch_)) {
+        ++stats_.resolveHits;
+        ++tlResolveHits;
+        return *c;
+    }
+    ++stats_.resolveMisses;
+    ++tlResolveMisses;
+    Resolution r = walkResolution(origin, seg, page);
+    // A non-present resolution triggers a fault whose handler bumps
+    // the epoch before this page can be asked for again; caching it
+    // would only displace a live entry.
+    if (r.present)
+        origin.storeResolution(page, r, resolveEpoch_);
+    return r;
+}
+
+Kernel::Resolution
+Kernel::resolveUncached(SegmentId seg, PageIndex page)
+{
+    Segment &origin = segmentOrThrow(seg);
+    return walkResolution(origin, seg, page);
 }
 
 sim::SimMutex &
@@ -602,6 +690,16 @@ Kernel::deliverFault(Fault f)
 
     const sim::SimTime fault_start = sim_->now();
     const auto &c = config_.cost;
+
+    if (config_.faultCoalescing && !resilience_.enabled &&
+        !(inject_ && inject_->enabled())) {
+        // Batched delivery: each faulting thread pays its own trap
+        // entry, then parks on the manager's coalescing queue; the
+        // dispatch/upcall (or IPC round trip) is charged once per
+        // drained batch instead of once per fault.
+        co_await sim_->delay(c.trapEnter);
+        co_await enqueueCoalesced(mgr, f);
+    } else {
     co_await sim_->delay(c.trapEnter + c.faultDispatch);
     mgr->noteCall();
     ++stats_.managerCalls;
@@ -627,6 +725,7 @@ Kernel::deliverFault(Fault f)
         lock.unlock();
         mgr->noteFaultHandled();
         co_await sim_->delay(c.ipcReply + c.contextSwitch + c.trapExit);
+    }
     }
 
     // Copy-on-write: the kernel performs the copy after the manager
@@ -654,12 +753,90 @@ Kernel::deliverFault(Fault f)
 }
 
 sim::Task<>
+Kernel::enqueueCoalesced(SegmentManager *mgr, const Fault &f)
+{
+    FaultQueue &q = faultQueues_[mgr];
+    auto done = std::make_shared<sim::Promise<>>(*sim_);
+    q.pending.push_back(PendingFault{f, done});
+    if (!q.draining) {
+        q.draining = true;
+        sim_->spawn(drainFaultQueue(mgr));
+    }
+    co_await done->future();
+}
+
+sim::Task<>
+Kernel::drainFaultQueue(SegmentManager *mgr)
+{
+    // Yield once so every fault raised at this instant joins the
+    // batch before the dispatch is charged.
+    co_await sim_->yield();
+    FaultQueue &q = faultQueues_[mgr];
+    const auto &c = config_.cost;
+    while (!q.pending.empty()) {
+        std::vector<PendingFault> batch = std::move(q.pending);
+        q.pending.clear();
+        ++stats_.faultBatches;
+        stats_.faultsCoalesced += batch.size();
+        mgr->noteCall();
+        ++stats_.managerCalls;
+        std::vector<Fault> faults;
+        faults.reserve(batch.size());
+        for (const PendingFault &p : batch)
+            faults.push_back(p.f);
+        try {
+            if (mgr->mode() == hw::ManagerMode::SameProcess) {
+                co_await sim_->delay(c.faultDispatch + c.upcall);
+                co_await mgr->handleFaults(*this, faults);
+                co_await sim_->delay(config_.resumeThroughKernel
+                                         ? c.kernelResume
+                                         : c.directResume);
+            } else {
+                co_await sim_->delay(c.faultDispatch + c.ipcSend +
+                                     c.contextSwitch);
+                sim::SimMutex &lock = managerLock(mgr);
+                co_await lock.lock();
+                try {
+                    co_await mgr->handleFaults(*this, faults);
+                } catch (...) {
+                    lock.unlock();
+                    throw;
+                }
+                lock.unlock();
+                co_await sim_->delay(c.ipcReply + c.contextSwitch +
+                                     c.trapExit);
+            }
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                mgr->noteFaultHandled();
+            for (PendingFault &p : batch)
+                p.done->setValue();
+        } catch (...) {
+            // The batch fails as a unit; every parked fault rethrows
+            // the handler's error from its own delivery context.
+            for (PendingFault &p : batch)
+                p.done->setError(std::current_exception());
+        }
+    }
+    q.draining = false;
+}
+
+sim::Task<>
 Kernel::invokeHandler(SegmentManager *mgr, const Fault &f)
 {
     // The default manager is part of the trusted system base (like the
     // kernel itself): injection campaigns target external managers.
+    // With no engine active, hand back the handler task directly so no
+    // wrapper coroutine frame sits between the kernel and the manager.
     if (inject_ && inject_->enabled() && mgr != defaultMgr_)
-        [[unlikely]] {
+        [[unlikely]]
+        return invokeHandlerInjected(mgr, f);
+    return mgr->handleFault(*this, f);
+}
+
+sim::Task<>
+Kernel::invokeHandlerInjected(SegmentManager *mgr, const Fault &f)
+{
+    {
         switch (inject_->managerAction()) {
           case inject::ManagerAction::Stall:
             ++stats_.injectedStalls;
@@ -686,10 +863,9 @@ Kernel::invokeHandler(SegmentManager *mgr, const Fault &f)
 bool
 Kernel::faultResolved(const Fault &f)
 {
-    auto it = segments_.find(f.segment);
-    if (it == segments_.end())
+    if (!segmentExists(f.segment))
         return true; // segment gone: nothing left to resolve
-    const PageEntry *e = it->second->findPage(f.page);
+    const PageEntry *e = byId_[f.segment]->findPage(f.page);
     if (!e) {
         // A protection fault's page can vanish underneath the fault
         // (failover reclaims the manager's clean frames, and a clock
@@ -758,12 +934,15 @@ Kernel::attemptWithDeadline(SegmentManager *mgr, const Fault &f)
 {
     auto done = std::make_shared<sim::Promise<int>>(*sim_);
     sim_->spawn(runHandlerAttempt(mgr, f, done));
-    sim_->spawn([](sim::Simulation *s, sim::Duration d,
-                   std::shared_ptr<sim::Promise<int>> p) -> sim::Task<> {
-        co_await s->delay(d);
-        if (!p->fulfilled())
-            p->setValue(2);
-    }(sim_, resilience_.faultDeadline, done));
+    // The deadline is a plain scheduled callback, not a spawned
+    // watcher coroutine: it claims its event sequence number at the
+    // same program point delay() used to, so the event order (and the
+    // determinism goldens) are unchanged.
+    sim_->schedule(sim_->now() + resilience_.faultDeadline,
+                   [done]() {
+                       if (!done->fulfilled())
+                           done->setValue(2);
+                   });
     const int outcome = co_await done->future();
     if (outcome == 2) {
         ++stats_.faultTimeouts;

@@ -270,6 +270,16 @@ class Kernel
         std::uint64_t segmentsDestroyed = 0;
         std::uint64_t tlbMisses = 0;
 
+        // Resolve front-cache effectiveness (host-side counters: no
+        // simulated time or events depend on them).
+        std::uint64_t resolveHits = 0;
+        std::uint64_t resolveMisses = 0;
+
+        // Batched fault delivery (active only when the machine opts
+        // in with MachineConfig::faultCoalescing).
+        std::uint64_t faultBatches = 0;   ///< coalesced dispatches
+        std::uint64_t faultsCoalesced = 0; ///< faults carried by them
+
         // Resilience / failure-path counters.
         std::uint64_t faultTimeouts = 0;   ///< deadline expiries
         std::uint64_t faultRedeliveries = 0;
@@ -299,11 +309,28 @@ class Kernel
 
     Resolution resolve(SegmentId seg, PageIndex page);
 
+    /**
+     * Resolve without consulting or filling the front-cache: the
+     * linear-rescan oracle differential tests compare against.
+     */
+    Resolution resolveUncached(SegmentId seg, PageIndex page);
+
   private:
     static constexpr int kMaxFaultRetries = 8;
     static constexpr int kMaxBindingDepth = 8;
 
     sim::Task<> deliverFault(Fault f);
+
+    /**
+     * Coalescing fault queue (MachineConfig::faultCoalescing): faults
+     * against one manager enqueue here and share one dispatch
+     * crossing per drain. Resilient delivery and injection stay on
+     * the per-fault path so deadline/redelivery semantics (and the
+     * manager-crash failover sweep) are unchanged.
+     */
+    sim::Task<> enqueueCoalesced(SegmentManager *mgr, const Fault &f);
+    sim::Task<> drainFaultQueue(SegmentManager *mgr);
+
     sim::Task<> notifyClosed(SegmentManager *mgr, SegmentId seg);
     sim::SimMutex &managerLock(SegmentManager *mgr);
 
@@ -313,6 +340,10 @@ class Kernel
      * manager. With no engine attached this is a plain handleFault.
      */
     sim::Task<> invokeHandler(SegmentManager *mgr, const Fault &f);
+
+    /** Injection-active slow path of invokeHandler. */
+    sim::Task<> invokeHandlerInjected(SegmentManager *mgr,
+                                      const Fault &f);
 
     /** Resilient delivery: deadline, redelivery, failover. */
     sim::Task<> deliverResilient(SegmentManager *mgr, Fault f);
@@ -352,8 +383,33 @@ class Kernel
 
     void sweepToPhysSegment(Segment &seg);
 
-    Segment &segmentOrThrow(SegmentId s);
-    const Segment &segmentOrThrow(SegmentId s) const;
+    /**
+     * O(1) segment lookup: `byId_` is a dense id -> Segment* index
+     * maintained alongside the ownership map (ids are sequential).
+     * The fault hot path resolves segments several times per fault;
+     * the std::map walk was a measurable fraction of it.
+     */
+    Segment &
+    segmentOrThrow(SegmentId s)
+    {
+        if (s < byId_.size() && byId_[s]) [[likely]]
+            return *byId_[s];
+        throwBadSegment(s);
+    }
+
+    const Segment &
+    segmentOrThrow(SegmentId s) const
+    {
+        if (s < byId_.size() && byId_[s]) [[likely]]
+            return *byId_[s];
+        throwBadSegment(s);
+    }
+
+    [[noreturn]] static void throwBadSegment(SegmentId s);
+
+    /** The shared cache-free resolution walk. */
+    Resolution walkResolution(Segment &origin, SegmentId seg,
+                              PageIndex page);
 
     std::uint32_t framesPerPage(const Segment &s) const;
 
@@ -362,9 +418,24 @@ class Kernel
     hw::PhysicalMemory memory_;
     SegmentId nextSegment_ = 0;
     std::map<SegmentId, std::unique_ptr<Segment>> segments_;
+    std::vector<Segment *> byId_; ///< dense id index over segments_
     std::map<SegmentId, int> bindRefs_; ///< # regions targeting a segment
     std::vector<FrameOwner> frames_;
     std::map<SegmentManager *, std::unique_ptr<sim::SimMutex>> mgrLocks_;
+
+    struct PendingFault
+    {
+        Fault f;
+        std::shared_ptr<sim::Promise<>> done;
+    };
+
+    struct FaultQueue
+    {
+        std::vector<PendingFault> pending;
+        bool draining = false;
+    };
+
+    std::map<SegmentManager *, FaultQueue> faultQueues_;
     std::unique_ptr<hw::Tlb> tlb_;
     Stats stats_;
     std::uint64_t resolveEpoch_ = 1; ///< segment caches start at 0
@@ -373,6 +444,16 @@ class Kernel
     inject::Engine *inject_ = nullptr;
 
 };
+
+/**
+ * Per-thread resolve front-cache counters, following the pattern of
+ * hw's thread-local disk counters: the sweep runner resets them per
+ * row and reports them on the (undiffed) stderr cost line, keeping
+ * the committed stdout/JSON tables byte-identical.
+ */
+void resetThreadResolveCounters();
+std::uint64_t threadResolveHits();
+std::uint64_t threadResolveMisses();
 
 /** Run a task to completion on a fresh simulation (test helper). */
 template <typename T>

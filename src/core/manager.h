@@ -18,6 +18,7 @@
 #define VPP_CORE_MANAGER_H
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/fault.h"
@@ -48,6 +49,19 @@ class SegmentManager
      * redeliver; persistent failure raises KernelErrc::FaultLoop.
      */
     virtual sim::Task<> handleFault(Kernel &k, const Fault &f) = 0;
+
+    /**
+     * Resolve a batch of faults delivered in one kernel crossing
+     * (MachineConfig::faultCoalescing). The communication cost has
+     * already been charged once for the whole batch; implementations
+     * only pay their per-fault work. Default: sequential handleFault.
+     */
+    virtual sim::Task<>
+    handleFaults(Kernel &k, std::span<const Fault> fs)
+    {
+        for (const Fault &f : fs)
+            co_await handleFault(k, f);
+    }
 
     /**
      * A managed segment is being destroyed; reclaim its frames. Frames

@@ -11,8 +11,9 @@
  * Pages live in a two-level sparse table (page_table.h) with O(1)
  * lookup; bindings are kept sorted by start page so the covering
  * region is found by binary search. Each segment also carries a
- * one-entry cache of the last resolve() result, validated against the
- * kernel's mutation epoch.
+ * two-level prime-hashed front-cache of resolve() results (primary
+ * direct-mapped array plus a smaller victim array), validated against
+ * the kernel's mutation epoch.
  */
 
 #ifndef VPP_CORE_SEGMENT_H
@@ -20,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,6 +62,85 @@ struct Resolution
     bool viaCow = false;
     SegmentId cowSeg = kInvalidSegment; ///< where a private copy goes
     PageIndex cowPage = 0;
+};
+
+/**
+ * Two-level prime-hashed resolve() front-cache.
+ *
+ * An open-addressed, direct-mapped primary array backed by a smaller
+ * victim (secondary) array, in the style of shadowOS's page cache: a
+ * primary miss probes the victim slot, and a victim hit promotes the
+ * entry back to primary (demoting whatever it displaces). Entries are
+ * validated against the kernel's global mutation epoch, so every
+ * MigratePages / bind / unbind / flag edit / segment destruction
+ * strictly invalidates the whole cache in O(1) (the epoch bump), with
+ * no per-entry sweeping. Storage is allocated lazily on first store;
+ * segments that never fault through resolve() pay nothing.
+ */
+class ResolveCache
+{
+  public:
+    const Resolution *
+    lookup(PageIndex p, std::uint64_t epoch)
+    {
+        if (!slots_)
+            return nullptr;
+        Entry &e = slots_[h1(p)];
+        if (e.epoch == epoch && e.page == p)
+            return &e.res;
+        Entry &v = slots_[kPrimary + h2(p)];
+        if (v.epoch == epoch && v.page == p) {
+            // Victim hit: promote to primary, demote the displaced
+            // entry into the victim slot it hashes to (here).
+            std::swap(e, v);
+            return &e.res;
+        }
+        return nullptr;
+    }
+
+    void
+    store(PageIndex p, const Resolution &r, std::uint64_t epoch)
+    {
+        if (!slots_) {
+            // Value-initialised: epoch 0 never matches (the kernel's
+            // epoch starts at 1).
+            slots_ = std::make_unique<Entry[]>(kPrimary + kSecondary);
+        }
+        Entry &e = slots_[h1(p)];
+        if (e.epoch == epoch && e.page != p)
+            slots_[kPrimary + h2(e.page)] = e; // keep the old entry warm
+        e.page = p;
+        e.epoch = epoch;
+        e.res = r;
+    }
+
+  private:
+    struct Entry
+    {
+        PageIndex page = 0;
+        std::uint64_t epoch = 0; ///< 0 == never valid
+        Resolution res;
+    };
+
+    static constexpr std::uint32_t kPrimary = 128;
+    static constexpr std::uint32_t kSecondary = 64;
+
+    /** Fibonacci-style prime multiplicative hashes (shadowOS). */
+    static std::uint32_t
+    h1(PageIndex p)
+    {
+        return static_cast<std::uint32_t>(
+            (p * 0x9e3779b97f4a7c15ull) >> 57); // top 7 bits: 0..127
+    }
+
+    static std::uint32_t
+    h2(PageIndex p)
+    {
+        return static_cast<std::uint32_t>(
+            (p * 0x7f4a7c159e3779b9ull) >> 58); // top 6 bits: 0..63
+    }
+
+    std::unique_ptr<Entry[]> slots_;
 };
 
 class Segment
@@ -151,26 +232,22 @@ class Segment
     }
 
     /**
-     * One-entry resolve() cache. A hit requires the same queried page
-     * and a kernel mutation epoch unchanged since the store; any
-     * migrate/bind/unbind/flag edit bumps the epoch and invalidates
-     * every segment's cache at once.
+     * Hashed resolve() front-cache. A hit requires the queried page's
+     * entry to carry a kernel mutation epoch unchanged since the
+     * store; any migrate/bind/unbind/flag edit bumps the epoch and
+     * invalidates every segment's cache at once.
      */
     const Resolution *
     cachedResolution(PageIndex p, std::uint64_t epoch) const
     {
-        if (rcacheEpoch_ == epoch && rcachePage_ == p)
-            return &rcache_;
-        return nullptr;
+        return rcache_.lookup(p, epoch);
     }
 
     void
     storeResolution(PageIndex p, const Resolution &r,
                     std::uint64_t epoch) const
     {
-        rcachePage_ = p;
-        rcache_ = r;
-        rcacheEpoch_ = epoch;
+        rcache_.store(p, r, epoch);
     }
 
   private:
@@ -183,9 +260,7 @@ class Segment
     PageTable pages_;
     std::vector<Binding> bindings_; ///< sorted by Binding::start
 
-    mutable PageIndex rcachePage_ = 0;
-    mutable Resolution rcache_;
-    mutable std::uint64_t rcacheEpoch_ = 0; ///< 0 == never valid
+    mutable ResolveCache rcache_;
 };
 
 } // namespace vpp::kernel

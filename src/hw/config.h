@@ -103,6 +103,15 @@ struct MachineConfig
     bool resumeThroughKernel;     ///< true on 680x0-style CPUs
     ManagerMode defaultMgrMode;   ///< how the default manager runs
 
+    /**
+     * Opt-in batched fault delivery: faults raised at the same
+     * simulated instant against one manager share a single dispatch
+     * crossing (one upcall or IPC round trip for the whole batch).
+     * Off by default so the per-fault charge timeline — and every
+     * committed determinism golden — is exactly the classic one.
+     */
+    bool faultCoalescing = false;
+
     std::uint64_t frames() const { return memoryBytes / pageSize; }
 
     /** Simulated time to execute @p n instructions on one CPU. */

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "hw/config.h"
 #include "sim/simulation.h"
@@ -42,7 +43,7 @@ class ServerPort
 {
   public:
     ServerPort(sim::Simulation &s, CallCost cost)
-        : sim_(&s), cost_(cost), queue_(s)
+        : sim_(&s), cost_(cost), queue_(s), batchQueue_(s)
     {}
 
     /** Client side: synchronous remote call. */
@@ -75,14 +76,52 @@ class ServerPort
         co_return co_await queue_.recv();
     }
 
-    bool idle() const { return queue_.empty(); }
+    /**
+     * Batched request: one Send/Reply crossing carries every request
+     * in @p reqs (MachineConfig::faultCoalescing analogue at the IPC
+     * layer). The send and reply costs are charged once for the whole
+     * vector, and the server answers all of them with one reply.
+     */
+    struct PendingBatch
+    {
+        std::vector<Req> requests;
+        sim::Promise<std::vector<Resp>> reply;
+    };
+
+    sim::Task<std::vector<Resp>>
+    callBatch(std::vector<Req> reqs)
+    {
+        ++calls_;
+        batched_ += reqs.size();
+        co_await sim_->delay(cost_.send);
+        sim::Promise<std::vector<Resp>> promise(*sim_);
+        auto fut = promise.future();
+        batchQueue_.send(
+            PendingBatch{std::move(reqs), std::move(promise)});
+        std::vector<Resp> resps = co_await fut;
+        co_await sim_->delay(cost_.reply);
+        co_return resps;
+    }
+
+    sim::Task<PendingBatch>
+    receiveBatch()
+    {
+        co_return co_await batchQueue_.recv();
+    }
+
+    bool idle() const { return queue_.empty() && batchQueue_.empty(); }
     std::uint64_t calls() const { return calls_; }
+
+    /** Requests that travelled inside a batch (not extra crossings). */
+    std::uint64_t batchedRequests() const { return batched_; }
 
   private:
     sim::Simulation *sim_;
     CallCost cost_;
     sim::Channel<Pending> queue_;
+    sim::Channel<PendingBatch> batchQueue_;
     std::uint64_t calls_ = 0;
+    std::uint64_t batched_ = 0;
 };
 
 } // namespace vpp::ipc

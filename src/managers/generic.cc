@@ -69,70 +69,22 @@ GenericSegmentManager::initNow(std::uint64_t capacity,
     }
 }
 
-namespace {
-
-/**
- * Extract a run of up to @p n consecutive indices from @p slots,
- * preferring the longest run available.
- */
-std::vector<PageIndex>
-takeRunFrom(std::set<PageIndex> &slots, std::uint64_t n)
-{
-    std::vector<PageIndex> run;
-    if (slots.empty() || n == 0)
-        return run;
-    auto best_start = slots.begin();
-    std::uint64_t best_len = 1;
-    auto it = slots.begin();
-    while (it != slots.end()) {
-        auto start = it;
-        std::uint64_t len = 1;
-        auto next = std::next(it);
-        while (next != slots.end() && *next == *it + 1 && len < n) {
-            it = next;
-            next = std::next(it);
-            ++len;
-        }
-        if (len > best_len) {
-            best_len = len;
-            best_start = start;
-        }
-        if (len >= n)
-            break;
-        it = next;
-    }
-    best_len = std::min(best_len, n);
-    PageIndex first = *best_start;
-    for (std::uint64_t i = 0; i < best_len; ++i) {
-        run.push_back(first + i);
-        slots.erase(first + i);
-    }
-    return run;
-}
-
-} // namespace
-
 std::vector<PageIndex>
 GenericSegmentManager::takeFreeRun(std::uint64_t n)
 {
-    return takeRunFrom(freeSlots_, n);
+    return freeSlots_.takeRun(n);
 }
 
 std::vector<PageIndex>
 GenericSegmentManager::takeEmptyRun(std::uint64_t n)
 {
-    return takeRunFrom(emptySlots_, n);
+    return emptySlots_.takeRun(n);
 }
 
 std::vector<PageIndex>
 GenericSegmentManager::takeEmptySlots(std::uint64_t n)
 {
-    std::vector<PageIndex> out;
-    while (out.size() < n && !emptySlots_.empty()) {
-        out.push_back(*emptySlots_.begin());
-        emptySlots_.erase(emptySlots_.begin());
-    }
-    return out;
+    return emptySlots_.takeLowest(n);
 }
 
 sim::Task<std::uint64_t>
@@ -155,14 +107,9 @@ GenericSegmentManager::surrenderFrames(std::uint64_t n)
 {
     if (!spcm_)
         co_return 0;
-    std::vector<PageIndex> slots;
     // Give back the highest slots first; low slots keep contiguity
     // for append batching.
-    auto it = freeSlots_.rbegin();
-    while (slots.size() < n && it != freeSlots_.rend())
-        slots.push_back(*it++);
-    for (PageIndex s : slots)
-        freeSlots_.erase(s);
+    std::vector<PageIndex> slots = freeSlots_.takeHighest(n);
     std::uint64_t returned =
         co_await spcm_->returnPages(client_, freeSeg_, slots);
     for (PageIndex s : slots)
@@ -252,6 +199,31 @@ GenericSegmentManager::handleFault(Kernel &k, const Fault &f)
 }
 
 sim::Task<>
+GenericSegmentManager::handleFaults(Kernel &k,
+                                    std::span<const Fault> fs)
+{
+    // Top the pool up once for the whole batch: one SPCM round trip
+    // replaces the per-fault replenish each member would otherwise
+    // trigger on an empty pool.
+    std::uint64_t need = 0;
+    for (const Fault &f : fs)
+        if (f.type != FaultType::Protection)
+            ++need;
+    if (need > freeSlots_.size()) {
+        co_await requestFrames(
+            std::max(requestBatch_, need - freeSlots_.size()));
+    }
+    for (const Fault &f : fs) {
+        // A batch-mate's run allocation (allocCount > 1) may have
+        // already installed this page; skip the redundant migrate.
+        if (f.type == FaultType::MissingPage &&
+            k.segment(f.segment).findPage(f.page))
+            continue;
+        co_await handleFault(k, f);
+    }
+}
+
+sim::Task<>
 GenericSegmentManager::reclaimPage(Kernel &k, SegmentId seg,
                                    PageIndex page)
 {
@@ -268,8 +240,7 @@ GenericSegmentManager::reclaimPage(Kernel &k, SegmentId seg,
             kernel::KernelErrc::LimitExceeded,
             SegmentManager::name() + ": free segment full");
     }
-    PageIndex slot = *emptySlots_.begin();
-    emptySlots_.erase(emptySlots_.begin());
+    PageIndex slot = emptySlots_.popLowest();
     co_await migrate(k, seg, freeSeg_, page, slot, 1,
                      flag::kReadable | flag::kWritable,
                      flag::kDirty | flag::kReferenced | flag::kPinned |

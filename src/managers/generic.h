@@ -20,11 +20,12 @@
 #define VPP_MANAGERS_GENERIC_H
 
 #include <cstdint>
-#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/kernel.h"
+#include "managers/slot_pool.h"
 #include "managers/spcm.h"
 
 namespace vpp::mgr {
@@ -49,6 +50,14 @@ class GenericSegmentManager : public kernel::SegmentManager
 
     sim::Task<> handleFault(kernel::Kernel &k,
                             const kernel::Fault &f) final;
+
+    /**
+     * Batched delivery (MachineConfig::faultCoalescing): tops the free
+     * pool up once for the whole batch, then resolves each fault,
+     * skipping pages a batch-mate's run allocation already installed.
+     */
+    sim::Task<> handleFaults(kernel::Kernel &k,
+                             std::span<const kernel::Fault> fs) override;
 
     sim::Task<> segmentClosed(kernel::Kernel &k,
                               kernel::SegmentId s) override;
@@ -260,7 +269,7 @@ class GenericSegmentManager : public kernel::SegmentManager
     }
 
     /** Inspect the allocated free-pool slots (policy overrides). */
-    const std::set<kernel::PageIndex> &
+    const SlotPool &
     freeSlotSet() const
     {
         return freeSlots_;
@@ -270,7 +279,7 @@ class GenericSegmentManager : public kernel::SegmentManager
     bool
     takeSlot(kernel::PageIndex slot)
     {
-        return freeSlots_.erase(slot) > 0;
+        return freeSlots_.erase(slot);
     }
 
     /**
@@ -290,8 +299,8 @@ class GenericSegmentManager : public kernel::SegmentManager
     kernel::UserId uid_;
     ClientId client_ = 0;
     kernel::SegmentId freeSeg_ = kernel::kInvalidSegment;
-    std::set<kernel::PageIndex> freeSlots_;  ///< slots holding frames
-    std::set<kernel::PageIndex> emptySlots_; ///< slots without frames
+    SlotPool freeSlots_;  ///< slots holding frames
+    SlotPool emptySlots_; ///< slots without frames
     std::uint64_t migrates_ = 0;
     std::uint64_t pagesAllocated_ = 0;
     std::uint64_t pagesReclaimed_ = 0;

@@ -30,7 +30,7 @@ namespace {
  */
 struct Detached
 {
-    struct promise_type
+    struct promise_type : detail::PooledFrame
     {
         Detached get_return_object() { return {}; }
         std::suspend_never initial_suspend() noexcept { return {}; }

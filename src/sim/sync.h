@@ -26,41 +26,54 @@ namespace vpp::sim {
 
 namespace detail {
 
-template <typename T>
-struct FutureState
+/**
+ * Waiter bookkeeping shared by both FutureState specialisations. The
+ * overwhelmingly common case is a single awaiter, which lives in an
+ * inline slot; only a second concurrent awaiter touches the heap.
+ * Wakeup order stays FIFO: the inline slot is always the first to
+ * have suspended and is always resumed first.
+ */
+struct FutureWaiters
 {
     Simulation *sim;
-    std::optional<T> value;
-    std::exception_ptr error;
     bool ready = false;
-    std::vector<std::coroutine_handle<>> waiters;
+    std::coroutine_handle<> first = nullptr;
+    std::vector<std::coroutine_handle<>> rest;
+
+    void
+    add(std::coroutine_handle<> h)
+    {
+        if (!first)
+            first = h;
+        else
+            rest.push_back(h);
+    }
 
     void
     fire()
     {
         ready = true;
-        for (auto h : waiters)
+        if (first) {
+            sim->scheduleResume(sim->now(), first);
+            first = nullptr;
+        }
+        for (auto h : rest)
             sim->scheduleResume(sim->now(), h);
-        waiters.clear();
+        rest.clear();
     }
 };
 
-template <>
-struct FutureState<void>
+template <typename T>
+struct FutureState : FutureWaiters
 {
-    Simulation *sim;
+    std::optional<T> value;
     std::exception_ptr error;
-    bool ready = false;
-    std::vector<std::coroutine_handle<>> waiters;
+};
 
-    void
-    fire()
-    {
-        ready = true;
-        for (auto h : waiters)
-            sim->scheduleResume(sim->now(), h);
-        waiters.clear();
-    }
+template <>
+struct FutureState<void> : FutureWaiters
+{
+    std::exception_ptr error;
 };
 
 } // namespace detail
@@ -93,7 +106,7 @@ class Future
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                st->waiters.push_back(h);
+                st->add(h);
             }
 
             T
@@ -122,7 +135,8 @@ class Promise
 {
   public:
     explicit Promise(Simulation &sim)
-        : state_(std::make_shared<detail::FutureState<T>>())
+        : state_(std::allocate_shared<detail::FutureState<T>>(
+              detail::PoolAlloc<detail::FutureState<T>>{}))
     {
         state_->sim = &sim;
     }

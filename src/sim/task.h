@@ -14,7 +14,9 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -25,8 +27,128 @@ class Task;
 
 namespace detail {
 
+/**
+ * Thread-local size-class recycler for coroutine frames.
+ *
+ * The fault hot path suspends through a dozen short-lived coroutines
+ * (touchSegment -> deliverFault -> handler -> hooks -> migrate), each
+ * of whose frames would otherwise be a malloc/free pair. Frames are
+ * recycled through per-thread free lists bucketed by 64-byte size
+ * class; each simulation (and each sweep row) is confined to one
+ * thread, so no locking is needed. Oversized frames fall through to
+ * the global allocator.
+ */
+class FramePool
+{
+  public:
+    static void *
+    allocate(std::size_t n)
+    {
+        const std::size_t cls = (n + kGranule - 1) >> kShift;
+        if (cls < kClasses) {
+            void *&head = lists().free[cls];
+            if (head) {
+                void *out = head;
+                head = *static_cast<void **>(out);
+                return out;
+            }
+            return ::operator new(cls << kShift);
+        }
+        return ::operator new(n);
+    }
+
+    static void
+    release(void *p, std::size_t n) noexcept
+    {
+        const std::size_t cls = (n + kGranule - 1) >> kShift;
+        if (cls < kClasses) {
+            void *&head = lists().free[cls];
+            *static_cast<void **>(p) = head;
+            head = p;
+            return;
+        }
+        ::operator delete(p);
+    }
+
+  private:
+    static constexpr std::size_t kShift = 6;
+    static constexpr std::size_t kGranule = std::size_t{1} << kShift;
+    static constexpr std::size_t kClasses = 48; ///< up to ~3 KB frames
+
+    struct Lists
+    {
+        void *free[kClasses] = {};
+
+        ~Lists()
+        {
+            for (void *head : free) {
+                while (head) {
+                    void *next = *static_cast<void **>(head);
+                    ::operator delete(head);
+                    head = next;
+                }
+            }
+        }
+    };
+
+    static Lists &
+    lists()
+    {
+        thread_local Lists tl;
+        return tl;
+    }
+};
+
+/** Mixin giving a promise type (and thus its frames) pooled storage. */
+struct PooledFrame
+{
+    static void *
+    operator new(std::size_t n)
+    {
+        return FramePool::allocate(n);
+    }
+
+    static void
+    operator delete(void *p, std::size_t n) noexcept
+    {
+        FramePool::release(p, n);
+    }
+};
+
+/** std-allocator façade over FramePool (shared futures, etc.). */
+template <typename T>
+struct PoolAlloc
+{
+    using value_type = T;
+
+    PoolAlloc() = default;
+
+    template <typename U>
+    PoolAlloc(const PoolAlloc<U> &) noexcept
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(FramePool::allocate(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        FramePool::release(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAlloc<U> &) const noexcept
+    {
+        return true;
+    }
+};
+
 /** State and behaviour shared by all task promise types. */
-class PromiseBase
+class PromiseBase : public PooledFrame
 {
   public:
     /** Tasks are lazy: they run only once awaited (or detached). */

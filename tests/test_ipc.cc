@@ -91,6 +91,46 @@ TEST(ServerPort, CostFromMachineMatchesTable1Decomposition)
     EXPECT_EQ(c.reply, usec(141));
 }
 
+TEST(ServerPort, BatchCallChargesOneCrossingForAllRequests)
+{
+    sim::Simulation s;
+    CallCost cost{usec(141), usec(141)};
+    ServerPort<Req, Resp> port(s, cost);
+
+    // Server: answer the whole batch with one reply, 10 us per item.
+    s.spawn([](sim::Simulation &sim,
+               ServerPort<Req, Resp> &p) -> sim::Task<> {
+        auto pending = co_await p.receiveBatch();
+        std::vector<Resp> out;
+        for (const Req &r : pending.requests) {
+            co_await sim.delay(usec(10));
+            out.push_back(Resp{r.x * 2});
+        }
+        pending.reply.setValue(std::move(out));
+    }(s, port));
+
+    std::vector<int> got;
+    sim::SimTime done_at = 0;
+    s.spawn([](sim::Simulation &sim, ServerPort<Req, Resp> &p,
+               std::vector<int> *out, sim::SimTime *at) -> sim::Task<> {
+        std::vector<Req> reqs;
+        for (int i = 1; i <= 3; ++i)
+            reqs.push_back(Req{i});
+        std::vector<Resp> rs = co_await p.callBatch(std::move(reqs));
+        for (const Resp &r : rs)
+            out->push_back(r.y);
+        *at = sim.now();
+    }(s, port, &got, &done_at));
+    s.run();
+
+    EXPECT_EQ(got, (std::vector<int>{2, 4, 6}));
+    // One send + 3x work + one reply: the crossings are NOT tripled.
+    EXPECT_EQ(done_at, usec(141 + 3 * 10 + 141));
+    EXPECT_EQ(port.calls(), 1u);
+    EXPECT_EQ(port.batchedRequests(), 3u);
+    EXPECT_TRUE(port.idle());
+}
+
 TEST(ServerPort, ServerErrorPropagatesToCaller)
 {
     sim::Simulation s;

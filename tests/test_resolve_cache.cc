@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Differential tests for the fault path's raw-speed machinery: the
+ * hashed resolve() front-cache is checked against the cache-free
+ * binding-chain walk (resolveUncached) across every mutation class
+ * that must invalidate it — unbinding, MigratePages, segment
+ * teardown, and an injected manager-crash failover — plus functional
+ * coverage of batched fault delivery (faultCoalescing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/kernel.h"
+#include "inject/inject.h"
+#include "managers/generic.h"
+#include "managers/spcm.h"
+#include "sim/random.h"
+
+namespace vpp::kernel {
+namespace {
+
+using sim::msec;
+using sim::usec;
+
+hw::MachineConfig
+smallMachine()
+{
+    hw::MachineConfig m = hw::decstation5000_200();
+    m.memoryBytes = 16 << 20; // 4096 frames
+    return m;
+}
+
+/** Assert the cached and cache-free resolutions are indistinguishable. */
+void
+expectSame(const Resolution &a, const Resolution &b, SegmentId s,
+           PageIndex p)
+{
+    EXPECT_EQ(a.present, b.present) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.seg, b.seg) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.page, b.page) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.entry, b.entry) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.regionProt, b.regionProt)
+        << "seg " << s << " page " << p;
+    EXPECT_EQ(a.viaCow, b.viaCow) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.cowSeg, b.cowSeg) << "seg " << s << " page " << p;
+    EXPECT_EQ(a.cowPage, b.cowPage) << "seg " << s << " page " << p;
+}
+
+void
+diffCheck(Kernel &k, SegmentId s, PageIndex first, PageIndex limit)
+{
+    for (PageIndex p = first; p < limit; ++p) {
+        // Oracle first: resolve() would populate the cache, and the
+        // differential must observe whatever state the cache already
+        // holds at this point.
+        Resolution oracle = k.resolveUncached(s, p);
+        Resolution cached = k.resolve(s, p);
+        expectSame(cached, oracle, s, p);
+        // Second lookup is served from the cache (if present).
+        expectSame(k.resolve(s, p), oracle, s, p);
+    }
+}
+
+struct ChainRig
+{
+    ChainRig() : kern(s, smallMachine())
+    {
+        file = kern.createSegmentNow("file", 4096, 256, 0);
+        kern.migratePagesNow(kPhysSegment, file, 0, 0, 256, 0, 0);
+        data = kern.createSegmentNow("data", 4096, 256, 0);
+        kern.bindRegionNow(data, 0, 256, file, 0, flag::kProtMask,
+                           true);
+        va = kern.createSegmentNow("va", 4096, 256, 0);
+        kern.bindRegionNow(va, 0, 256, data, 0, flag::kProtMask);
+    }
+
+    void
+    warm()
+    {
+        for (PageIndex p = 0; p < 256; ++p)
+            (void)kern.resolve(va, p);
+    }
+
+    sim::Simulation s;
+    Kernel kern;
+    SegmentId file = 0, data = 0, va = 0;
+};
+
+TEST(ResolveCache, HitsAreCountedAndAgreeWithOracle)
+{
+    ChainRig r;
+    const auto &st = r.kern.stats();
+    (void)r.kern.resolve(r.va, 7);
+    std::uint64_t misses = st.resolveMisses;
+    EXPECT_GE(misses, 1u);
+    (void)r.kern.resolve(r.va, 7);
+    EXPECT_GE(st.resolveHits, 1u);
+    EXPECT_EQ(st.resolveMisses, misses); // second lookup was a hit
+    diffCheck(r.kern, r.va, 0, 256);
+}
+
+TEST(ResolveCache, DifferentialAfterUnbind)
+{
+    ChainRig r;
+    r.warm();
+    // Drop the va -> data region: every cached translation through it
+    // must die with the epoch bump.
+    r.kern.unbindRegionNow(r.va, 0);
+    diffCheck(r.kern, r.va, 0, 256);
+    for (PageIndex p = 0; p < 256; ++p)
+        EXPECT_FALSE(r.kern.resolve(r.va, p).present);
+    // Rebind a shifted window and re-check.
+    r.kern.bindRegionNow(r.va, 16, 64, r.data, 32, flag::kProtMask);
+    diffCheck(r.kern, r.va, 0, 256);
+}
+
+TEST(ResolveCache, DifferentialAfterMigratePages)
+{
+    ChainRig r;
+    r.warm();
+    SegmentId spare = r.kern.createSegmentNow("spare", 4096, 256, 0);
+    // Move frames out of the bound file: cached "present at file"
+    // results are now wrong unless invalidated.
+    r.kern.migratePagesNow(r.file, spare, 0, 0, 64, 0, 0);
+    diffCheck(r.kern, r.va, 0, 256);
+    for (PageIndex p = 0; p < 64; ++p)
+        EXPECT_FALSE(r.kern.resolve(r.va, p).present);
+    // And back again.
+    r.kern.migratePagesNow(spare, r.file, 0, 0, 64, 0, 0);
+    diffCheck(r.kern, r.va, 0, 256);
+}
+
+TEST(ResolveCache, DifferentialAfterSegmentTeardown)
+{
+    ChainRig r;
+    r.warm();
+    // Tear the chain down from the top (the kernel refuses to destroy
+    // a segment that is still the target of bound regions). At every
+    // stage the hot cache must track the teardown exactly.
+    runTask(r.s, r.kern.destroySegment(r.va));
+    EXPECT_THROW((void)r.kern.resolveUncached(r.va, 0), KernelError);
+    EXPECT_THROW((void)r.kern.resolve(r.va, 0), KernelError);
+
+    for (PageIndex p = 0; p < 256; ++p)
+        (void)r.kern.resolve(r.data, p); // re-warm on the next level
+    runTask(r.s, r.kern.destroySegment(r.data));
+    EXPECT_THROW((void)r.kern.resolve(r.data, 0), KernelError);
+
+    // file's frames survive; a fresh segment binding to it must get
+    // correct translations, not the dead segments' cached ones.
+    diffCheck(r.kern, r.file, 0, 256);
+    SegmentId va2 = r.kern.createSegmentNow("va2", 4096, 256, 0);
+    r.kern.bindRegionNow(va2, 0, 256, r.file, 0, flag::kProtMask);
+    diffCheck(r.kern, va2, 0, 256);
+}
+
+TEST(ResolveCache, RandomizedDifferentialStress)
+{
+    ChainRig r;
+    sim::Random rng(1234);
+    SegmentId spare = r.kern.createSegmentNow("spare", 4096, 256, 0);
+    bool bound = true;
+    for (int round = 0; round < 200; ++round) {
+        switch (rng.below(4)) {
+        case 0: { // migrate a small run out of / into the file
+            PageIndex at = rng.below(250);
+            std::uint64_t n = 1 + rng.below(4);
+            try {
+                r.kern.migratePagesNow(r.file, spare, at, at, n, 0, 0);
+            } catch (const KernelError &) {
+            }
+            break;
+        }
+        case 1: {
+            PageIndex at = rng.below(250);
+            std::uint64_t n = 1 + rng.below(4);
+            try {
+                r.kern.migratePagesNow(spare, r.file, at, at, n, 0, 0);
+            } catch (const KernelError &) {
+            }
+            break;
+        }
+        case 2: // toggle the va -> data region
+            if (bound) {
+                r.kern.unbindRegionNow(r.va, 0);
+            } else {
+                r.kern.bindRegionNow(r.va, 0, 256, r.data, 0,
+                                     flag::kProtMask);
+            }
+            bound = !bound;
+            break;
+        case 3: { // flip protection on a file page, if present
+            PageIndex at = rng.below(256);
+            try {
+                r.kern.modifyPageFlagsNow(r.file, at, 1, 0,
+                                          flag::kWritable);
+            } catch (const KernelError &) {
+            }
+            break;
+        }
+        }
+        for (int probe = 0; probe < 16; ++probe) {
+            PageIndex p = rng.below(256);
+            Resolution oracle = r.kern.resolveUncached(r.va, p);
+            expectSame(r.kern.resolve(r.va, p), oracle, r.va, p);
+            Resolution fo = r.kern.resolveUncached(r.file, p);
+            expectSame(r.kern.resolve(r.file, p), fo, r.file, p);
+        }
+    }
+}
+
+TEST(ResolveCache, DifferentialAcrossCrashFailoverSweep)
+{
+    // An injected manager-crash campaign with failover reassigns the
+    // segment and unilaterally reclaims frames mid-sweep; the cache
+    // must track every kernel-side mutation the failover performs.
+    sim::Simulation s;
+    Kernel kern(s, smallMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager flaky(
+        kern, "flaky", hw::ManagerMode::SameProcess, &spcm, 1);
+    mgr::GenericSegmentManager fallback(
+        kern, "fallback", hw::ManagerMode::SameProcess, &spcm,
+        kSystemUser);
+    flaky.initNow(128, 64);
+    fallback.initNow(128, 64);
+    SegmentId seg = kern.createSegmentNow("app", 4096, 64, 1, &flaky);
+    Process proc("p", 1);
+    kern.setDefaultManager(&fallback);
+    ResiliencePolicy pol;
+    pol.enabled = true;
+    pol.faultDeadline = msec(50);
+    pol.maxRedeliveries = 1;
+    pol.retryBackoff = usec(100);
+    pol.failover = true;
+    kern.setResiliencePolicy(pol);
+
+    for (PageIndex p = 0; p < 4; ++p)
+        runTask(s, kern.touchSegment(proc, seg, p,
+                                     AccessType::Read));
+    diffCheck(kern, seg, 0, 64);
+
+    inject::Config c;
+    c.enabled = true;
+    c.seed = 3;
+    c.manager.crashProb = 1.0;
+    inject::Engine eng(c);
+    kern.setInjector(&eng);
+
+    runTask(s, kern.touchSegment(proc, seg, 10, AccessType::Read));
+    EXPECT_EQ(kern.stats().failovers, 1u);
+    EXPECT_EQ(kern.segment(seg).manager(), &fallback);
+    diffCheck(kern, seg, 0, 64);
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+// ----------------------------------------------------------------------
+// Batched fault delivery
+// ----------------------------------------------------------------------
+
+TEST(FaultCoalescing, SameInstantFaultsShareOneDispatch)
+{
+    hw::MachineConfig m = smallMachine();
+    m.faultCoalescing = true;
+    sim::Simulation s;
+    Kernel kern(s, m);
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(256, 128);
+    SegmentId seg = kern.createSegmentNow("heap", 4096, 256, 1,
+                                          &manager);
+    Process proc("p", 1);
+
+    std::vector<sim::Task<>> touches;
+    for (PageIndex p = 0; p < 8; ++p)
+        touches.push_back(
+            kern.touchSegment(proc, seg, p, AccessType::Write));
+    runTask(s, sim::joinAll(s, std::move(touches)));
+
+    const auto &st = kern.stats();
+    EXPECT_EQ(st.faultBatches, 1u);
+    EXPECT_EQ(st.faultsCoalesced, 8u);
+    EXPECT_EQ(manager.calls(), 1u);
+    EXPECT_EQ(manager.faultsHandled(), 8u);
+    for (PageIndex p = 0; p < 8; ++p)
+        EXPECT_TRUE(kern.segment(seg).findPage(p) != nullptr);
+    std::string why;
+    EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+}
+
+TEST(FaultCoalescing, OffByDefaultKeepsPerFaultDispatch)
+{
+    sim::Simulation s;
+    Kernel kern(s, smallMachine());
+    mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+    mgr::GenericSegmentManager manager(
+        kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+    manager.initNow(256, 128);
+    SegmentId seg = kern.createSegmentNow("heap", 4096, 256, 1,
+                                          &manager);
+    Process proc("p", 1);
+
+    std::vector<sim::Task<>> touches;
+    for (PageIndex p = 0; p < 8; ++p)
+        touches.push_back(
+            kern.touchSegment(proc, seg, p, AccessType::Write));
+    runTask(s, sim::joinAll(s, std::move(touches)));
+
+    const auto &st = kern.stats();
+    EXPECT_EQ(st.faultBatches, 0u);
+    EXPECT_EQ(st.faultsCoalesced, 0u);
+    EXPECT_EQ(manager.calls(), 8u);
+    EXPECT_EQ(manager.faultsHandled(), 8u);
+}
+
+TEST(FaultCoalescing, BatchedAndClassicReachTheSameState)
+{
+    // The batch is a delivery optimisation, not a semantic change:
+    // both modes must leave the segment with identical present pages
+    // and pass the frame invariant.
+    auto run = [](bool coalesce) {
+        hw::MachineConfig m = smallMachine();
+        m.faultCoalescing = coalesce;
+        sim::Simulation s;
+        Kernel kern(s, m);
+        mgr::SystemPageCacheManager spcm(kern, std::nullopt);
+        mgr::GenericSegmentManager manager(
+            kern, "m", hw::ManagerMode::SameProcess, &spcm, 1);
+        manager.initNow(256, 128);
+        SegmentId seg = kern.createSegmentNow("heap", 4096, 256, 1,
+                                              &manager);
+        Process proc("p", 1);
+        std::vector<sim::Task<>> touches;
+        for (PageIndex p = 0; p < 32; ++p)
+            touches.push_back(kern.touchSegment(proc, seg, p * 3 % 96,
+                                                AccessType::Write));
+        runTask(s, sim::joinAll(s, std::move(touches)));
+        std::string why;
+        EXPECT_TRUE(kern.checkFrameInvariant(&why)) << why;
+        std::vector<PageIndex> present;
+        for (const auto &[pg, e] : kern.segment(seg).pages())
+            present.push_back(pg);
+        return present;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace vpp::kernel
