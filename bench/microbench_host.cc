@@ -23,6 +23,7 @@
 #include "inject/inject.h"
 #include "managers/generic.h"
 #include "sim/random.h"
+#include "sim/shard.h"
 #include "uio/paging.h"
 
 using namespace vpp;
@@ -378,6 +379,72 @@ BM_PageInOut(benchmark::State &state)
     state.SetBytesProcessed(state.iterations() * kPages * 2 * 4096);
 }
 BENCHMARK(BM_PageInOut);
+
+void
+BM_ShardedStep(benchmark::State &state)
+{
+    // Per-epoch overhead of the sharded engine: 4 shards, each with
+    // exactly one local event per lookahead window, so every epoch
+    // pays the full merge/horizon/drain cycle (plus two barrier
+    // crossings when workers > 1) for minimal useful work — the
+    // worst case for the machinery, hence the number to watch.
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    constexpr unsigned kShards = 4;
+    constexpr int kEpochs = 256;
+    constexpr sim::Duration kLookahead = 1000;
+    sim::ShardedSimulation ss(kShards, kLookahead, workers);
+    std::uint64_t epochsRun = 0;
+    for (auto _ : state) {
+        for (unsigned s = 0; s < kShards; ++s) {
+            sim::Simulation &sh = ss.shard(s);
+            sh.spawn([](sim::Simulation *sim) -> sim::Task<> {
+                for (int i = 0; i < kEpochs; ++i)
+                    co_await sim->delay(kLookahead);
+            }(&sh));
+        }
+        ss.run();
+        epochsRun = ss.epochs();
+    }
+    benchmark::DoNotOptimize(epochsRun);
+    state.SetItemsProcessed(state.iterations() * kEpochs);
+}
+BENCHMARK(BM_ShardedStep)->Arg(1)->Arg(2);
+
+void
+BM_CrossShardEvent(benchmark::State &state)
+{
+    // Round-trip cost of one cross-shard event: post into the
+    // mailbox, barrier hand-off, canonical merge, delivery on the
+    // destination — a two-shard ping-pong where every hop crosses.
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    constexpr int kRounds = 512;
+    constexpr sim::Duration kLookahead = 1000;
+    sim::ShardedSimulation ss(2, kLookahead, workers);
+    struct PingPong
+    {
+        sim::ShardedSimulation *ss;
+        int remaining = 0;
+
+        void
+        hop(unsigned me)
+        {
+            if (remaining-- <= 0)
+                return;
+            unsigned other = 1 - me;
+            ss->post(other, ss->shard(me).now() + kLookahead,
+                     [this, other] { hop(other); });
+        }
+    };
+    PingPong pp{&ss};
+    for (auto _ : state) {
+        pp.remaining = kRounds;
+        ss.post(0, ss.shard(0).now(), [&pp] { pp.hop(0); });
+        ss.run();
+    }
+    benchmark::DoNotOptimize(ss.crossEvents());
+    state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_CrossShardEvent)->Arg(1)->Arg(2);
 
 void
 BM_CacheModelAccess(benchmark::State &state)

@@ -52,6 +52,12 @@ namespace vppbench {
 struct Options
 {
     unsigned jobs = 0;     ///< 0 = sim::Runner::defaultJobs()
+    /// Host worker threads *inside* each sharded row (0 =
+    /// sim::ShardedSimulation::defaultWorkers(), i.e. VPP_SHARDS or
+    /// 1). Orthogonal to --jobs: jobs spreads rows across threads,
+    /// shards spreads one row's simulation across threads. Both are
+    /// bit-identical for any value.
+    unsigned shards = 0;
     std::string jsonPath;  ///< empty = no JSON; "-" = stdout
     bool progress = true;
 };
@@ -61,10 +67,15 @@ usage(const char *benchName)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--jobs N] [--json[=PATH]] [--no-progress]\n"
+        "usage: %s [--jobs N] [--shards N] [--json[=PATH]] "
+        "[--no-progress]\n"
         "  --jobs N       worker threads for the sweep (default: \n"
         "                 VPP_JOBS env var, else hardware "
         "concurrency);\n"
+        "                 results are bit-identical for any N\n"
+        "  --shards N     worker threads inside each sharded-engine "
+        "row\n"
+        "                 (default: VPP_SHARDS env var, else 1);\n"
         "                 results are bit-identical for any N\n"
         "  --json[=PATH]  emit machine-readable metrics (stdout if "
         "no PATH)\n"
@@ -84,6 +95,12 @@ parseArgs(int argc, char **argv, const char *benchName)
         } else if (std::strncmp(a, "--jobs=", 7) == 0) {
             opt.jobs = static_cast<unsigned>(
                 std::strtoul(a + 7, nullptr, 10));
+        } else if (std::strcmp(a, "--shards") == 0 && i + 1 < argc) {
+            opt.shards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strncmp(a, "--shards=", 9) == 0) {
+            opt.shards = static_cast<unsigned>(
+                std::strtoul(a + 9, nullptr, 10));
         } else if (std::strcmp(a, "--json") == 0) {
             opt.jsonPath = "-";
         } else if (std::strncmp(a, "--json=", 7) == 0) {

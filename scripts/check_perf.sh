@@ -16,8 +16,9 @@
 # do not fail), 1 otherwise. A fixed set of required benchmarks —
 # the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
 # BM_PageInOut), the fault path (BM_FullFaultPath, BM_FaultBatch,
-# BM_FaultRedeliver) and the resolve path (BM_ResolveThroughBindings,
-# BM_ResolveHashedHit) — must be present in the fresh run; their
+# BM_FaultRedeliver), the resolve path (BM_ResolveThroughBindings,
+# BM_ResolveHashedHit) and the sharded engine (BM_ShardedStep,
+# BM_CrossShardEvent) — must be present in the fresh run; their
 # absence fails the gate even if everything that did run was fast
 # enough.
 
@@ -74,7 +75,8 @@ missing = []
 # drops one of these would blind the gate.
 required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
             "BM_FullFaultPath", "BM_FaultBatch", "BM_FaultRedeliver",
-            "BM_ResolveThroughBindings", "BM_ResolveHashedHit"]
+            "BM_ResolveThroughBindings", "BM_ResolveHashedHit",
+            "BM_ShardedStep", "BM_CrossShardEvent"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
         missing.append(name)

@@ -51,7 +51,7 @@ BENCHES="table1_primitives table2_applications table3_vm_activity \
 table4_db_response ablation_manager_mode ablation_coloring \
 ablation_prefetch ablation_discardable ablation_market \
 ablation_clock_batch ablation_placement ablation_page_size \
-ablation_paging_period table_robustness"
+ablation_paging_period table_robustness table_scaleout"
 
 if [ "$sanitize" = 1 ]; then
     echo "== sanitize: building asan preset and running tests"
@@ -118,6 +118,20 @@ if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
         fi
     done
     [ "$fail" = 0 ] && echo "OK    all benches byte-identical at --jobs 1 and --jobs $jobs"
+fi
+
+if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
+    echo "== determinism check: rerunning table_scaleout with --shards 8"
+    b=table_scaleout
+    "$bindir/$b" --jobs 1 --shards 8 --no-progress \
+        --json="$out/$b.s8.json" >"$out/$b.s8.txt" 2>/dev/null ||
+        { echo "FAIL  $b: shards=8 rerun exited nonzero"; fail=1; }
+    if ! cmp -s "$out/$b.json" "$out/$b.s8.json" ||
+        ! cmp -s "$out/$b.txt" "$out/$b.s8.txt"; then
+        echo "FAIL  $b: output differs between --shards 1 and --shards 8"
+        fail=1
+    fi
+    [ "$fail" = 0 ] && echo "OK    $b byte-identical at --shards 1 and --shards 8"
 fi
 
 if [ "$perf" = 1 ] && [ "$fail" = 0 ]; then

@@ -59,6 +59,15 @@ resetThreadPeak()
     tPeak = tCurrent;
 }
 
+void
+absorbChildPeak(std::int64_t bytes)
+{
+    if (bytes <= 0)
+        return;
+    if (tCurrent + bytes > tPeak)
+        tPeak = tCurrent + bytes;
+}
+
 } // namespace vpp::sim::mem
 
 #if VPP_MEM_HOOKS

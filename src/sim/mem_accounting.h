@@ -34,6 +34,18 @@ std::int64_t threadPeakBytes();
 /** Restart the peak high-water mark from the current level. */
 void resetThreadPeak();
 
+/**
+ * Fold the peak heap footprint of concurrently-running child threads
+ * into this thread's accounted peak. A sharded run (sim/shard.h)
+ * executes on worker threads whose allocations land in *their*
+ * thread-local counters; without this merge the run's reported peak
+ * would silently drop everything the shard workers allocated. Pass
+ * the summed peak-above-baseline of all children (they ran
+ * concurrently with each other and with this thread's current live
+ * bytes); the thread peak becomes at least current + @p bytes.
+ */
+void absorbChildPeak(std::int64_t bytes);
+
 } // namespace vpp::sim::mem
 
 #endif // VPP_SIM_MEM_ACCOUNTING_H

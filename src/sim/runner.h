@@ -6,9 +6,11 @@
  *
  * The paper's evaluation is a sweep of independent simulated-machine
  * runs (per application, per manager configuration, per DB
- * scenario). Each run is single-threaded and deterministic; the
- * sweep's throughput therefore comes from running many instances
- * concurrently, never from threading one instance. The Runner gives
+ * scenario). Each run is deterministic; the sweep's throughput comes
+ * from running many instances concurrently. (Parallelism *within*
+ * one run is the sharded engine's job — sim/shard.h — and composes
+ * with this pool: a row may itself fan out onto shard workers.) The
+ * Runner gives
  * every submitted job a slot indexed by submission order: jobs
  * construct their own Simulation + machine + kernel, share no
  * mutable state, and write their result into their own slot, so

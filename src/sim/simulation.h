@@ -164,6 +164,41 @@ class Simulation
      */
     SimTime runUntil(SimTime deadline);
 
+    /** nextEventTime() result when no event is pending. */
+    static constexpr SimTime kNoEvent =
+        std::numeric_limits<SimTime>::max();
+
+    /**
+     * Timestamp of the earliest pending event, or kNoEvent when the
+     * queue is empty. Used by the sharded engine to compute the
+     * global epoch horizon without disturbing the queues.
+     */
+    SimTime
+    nextEventTime() const
+    {
+        if (!nowQueue_.empty())
+            return now_;
+        if (nextValid_)
+            return next_.when;
+        return kNoEvent;
+    }
+
+    /**
+     * Execute every event with `when < horizon` (strictly), including
+     * events those events schedule inside the window, then stop. The
+     * clock is left at the last executed event, never forced forward.
+     * This is one shard's share of a conservative epoch window: the
+     * sharded engine proves that no cross-shard event can arrive
+     * before @p horizon, making everything strictly before it safe.
+     */
+    SimTime
+    drainBefore(SimTime horizon)
+    {
+        // Integer timestamps make "strictly before horizon" the same
+        // set as "at or before horizon - 1".
+        return drainUntil(horizon - 1);
+    }
+
     /** Number of spawned root tasks that have not yet finished. */
     int liveTasks() const { return liveTasks_; }
 

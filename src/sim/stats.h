@@ -55,6 +55,23 @@ class SampleStats
         *this = SampleStats();
     }
 
+    /**
+     * Fold another accumulator into this one. Sharded runs collect
+     * per-shard stats and merge them in shard-index order, which
+     * keeps the floating-point sums bit-identical at any worker
+     * count (addition order is fixed by the merge order, never by
+     * thread timing).
+     */
+    void
+    merge(const SampleStats &o)
+    {
+        n_ += o.n_;
+        sum_ += o.sum_;
+        sumsq_ += o.sumsq_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
   private:
     std::uint64_t n_ = 0;
     double sum_ = 0.0;
@@ -106,6 +123,20 @@ class Distribution
     samples() const
     {
         return samples_;
+    }
+
+    /**
+     * Append another distribution's samples in their recorded order.
+     * Merging per-shard distributions in shard-index order keeps
+     * percentiles and means bit-identical at any worker count.
+     */
+    void
+    merge(const Distribution &o)
+    {
+        samples_.insert(samples_.end(), o.samples_.begin(),
+                        o.samples_.end());
+        stats_.merge(o.stats_);
+        sorted_ = false;
     }
 
     void

@@ -34,9 +34,16 @@ namespace detail {
  * (touchSegment -> deliverFault -> handler -> hooks -> migrate), each
  * of whose frames would otherwise be a malloc/free pair. Frames are
  * recycled through per-thread free lists bucketed by 64-byte size
- * class; each simulation (and each sweep row) is confined to one
- * thread, so no locking is needed. Oversized frames fall through to
- * the global allocator.
+ * class; each simulation — and in a sharded run each logical shard —
+ * is drained by exactly one thread, so no locking is needed.
+ * Oversized frames fall through to the global allocator.
+ *
+ * Cross-thread lifetimes are still safe: a frame allocated on thread
+ * A (e.g. a task spawned during single-threaded setup) and released
+ * on shard-worker thread B simply enters B's free list. Both paths
+ * bottom out in the global operator new/delete, and each free list
+ * is touched only by its own thread, so no block is ever accessed by
+ * two threads at once.
  */
 class FramePool
 {
