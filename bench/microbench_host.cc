@@ -22,6 +22,7 @@
 #include "hw/disk.h"
 #include "inject/inject.h"
 #include "managers/generic.h"
+#include "managers/spcm.h"
 #include "sim/random.h"
 #include "sim/shard.h"
 #include "uio/paging.h"
@@ -445,6 +446,50 @@ BM_CrossShardEvent(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kRounds);
 }
 BENCHMARK(BM_CrossShardEvent)->Arg(1)->Arg(2);
+
+void
+BM_MarketRound(benchmark::State &state)
+{
+    // Host cost of a batched auction round: `tenants` same-instant
+    // 4-frame bids collected into one callBatch crossing and answered
+    // by the round server, sharded free lists on. Measures the round
+    // machinery itself (collect, batch, distribute), the per-grant
+    // kernel work riding along.
+    const std::uint64_t tenants =
+        static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation s;
+        kernel::Kernel kern(s, benchMachine());
+        mgr::SpcmParams sp;
+        sp.shards = 4;
+        sp.batchedRounds = true;
+        sp.admissionMaxWaiters = 16;
+        sp.admissionMaxWait = sim::msec(1);
+        mgr::SystemPageCacheManager spcm(kern, mgr::MarketParams{},
+                                         sp);
+        std::vector<mgr::ClientId> ids(tenants);
+        std::vector<kernel::SegmentId> segs(tenants);
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            ids[t] = spcm.registerClient("t" + std::to_string(t),
+                                         1000 + t, 1.0);
+            spcm.deposit(ids[t], 1.0);
+            segs[t] = kern.createSegmentNow(
+                "s" + std::to_string(t), 4096, 8, 1000 + t);
+        }
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            s.spawn([](mgr::SystemPageCacheManager *m,
+                       mgr::ClientId c,
+                       kernel::SegmentId seg) -> sim::Task<> {
+                std::vector<kernel::PageIndex> slots{0, 1, 2, 3};
+                co_await m->requestPages(c, seg, std::move(slots));
+            }(&spcm, ids[t], segs[t]));
+        }
+        s.run();
+        benchmark::DoNotOptimize(spcm.marketRounds());
+    }
+    state.SetItemsProcessed(state.iterations() * tenants);
+}
+BENCHMARK(BM_MarketRound)->Arg(8)->Arg(64)->Arg(256);
 
 void
 BM_CacheModelAccess(benchmark::State &state)

@@ -45,6 +45,12 @@ namespace vpp::kernel {
 void resetThreadResolveCounters();
 std::uint64_t threadResolveHits();
 std::uint64_t threadResolveMisses();
+// Memory-market round/fairness counters, same pattern (core/kernel.cc;
+// sim::Duration is std::int64_t nanoseconds).
+void resetThreadMarketCounters();
+std::uint64_t threadMarketRounds();
+std::uint64_t threadMarketBids();
+std::int64_t threadMarketMaxStarve();
 } // namespace vpp::kernel
 
 namespace vppbench {
@@ -170,6 +176,9 @@ class Sweep
         diskRetries_.assign(jobs_.size(), 0);
         resolveHits_.assign(jobs_.size(), 0);
         resolveMisses_.assign(jobs_.size(), 0);
+        marketRounds_.assign(jobs_.size(), 0);
+        marketBids_.assign(jobs_.size(), 0);
+        marketStarve_.assign(jobs_.size(), 0);
         vpp::sim::Runner runner(opt_.jobs);
         if (opt_.progress) {
             runner.setProgress([this](std::size_t d, std::size_t t) {
@@ -188,12 +197,17 @@ class Sweep
                 vpp::hw::resetThreadCommittedPeak();
                 vpp::hw::resetThreadDiskCounters();
                 vpp::kernel::resetThreadResolveCounters();
+                vpp::kernel::resetThreadMarketCounters();
                 results_[i] = jobs_[i]();
                 committedPeak_[i] = vpp::hw::threadPeakCommittedBytes();
                 diskErrors_[i] = vpp::hw::threadDiskErrors();
                 diskRetries_[i] = vpp::hw::threadDiskRetries();
                 resolveHits_[i] = vpp::kernel::threadResolveHits();
                 resolveMisses_[i] = vpp::kernel::threadResolveMisses();
+                marketRounds_[i] = vpp::kernel::threadMarketRounds();
+                marketBids_[i] = vpp::kernel::threadMarketBids();
+                marketStarve_[i] =
+                    vpp::kernel::threadMarketMaxStarve();
             });
         }
         runner.wait();
@@ -243,21 +257,37 @@ class Sweep
                                   static_cast<unsigned long long>(
                                       resolveMisses_[i]));
                 }
+                // Market auction rounds and per-tenant fairness ride
+                // the cost line the same way (stderr only; never part
+                // of the diffed stdout/JSON).
+                char mkt[96] = "";
+                if (marketRounds_[i] || marketStarve_[i]) {
+                    std::snprintf(
+                        mkt, sizeof(mkt),
+                        ", market rounds %llu/bids %llu/starve "
+                        "%.1f ms",
+                        static_cast<unsigned long long>(
+                            marketRounds_[i]),
+                        static_cast<unsigned long long>(
+                            marketBids_[i]),
+                        static_cast<double>(marketStarve_[i]) /
+                            1e6);
+                }
                 if (s.peakHeapBytes >= 0) {
                     std::fprintf(
                         stderr,
                         "  %-36s %7.3f s host, peak heap %.1f MB, "
-                        "sim committed %.1f MB%s%s\n",
+                        "sim committed %.1f MB%s%s%s\n",
                         labels_[i].c_str(), s.hostSeconds,
                         static_cast<double>(s.peakHeapBytes) /
                             (1024.0 * 1024.0),
-                        committed, disk, rc);
+                        committed, disk, rc, mkt);
                 } else {
                     std::fprintf(stderr,
                                  "  %-36s %7.3f s host, "
-                                 "sim committed %.1f MB%s%s\n",
+                                 "sim committed %.1f MB%s%s%s\n",
                                  labels_[i].c_str(), s.hostSeconds,
-                                 committed, disk, rc);
+                                 committed, disk, rc, mkt);
                 }
             }
         }
@@ -349,6 +379,9 @@ class Sweep
     std::vector<std::uint64_t> diskRetries_;  ///< paging retries per row
     std::vector<std::uint64_t> resolveHits_;  ///< resolve-cache hits per row
     std::vector<std::uint64_t> resolveMisses_; ///< and misses per row
+    std::vector<std::uint64_t> marketRounds_; ///< auction rounds per row
+    std::vector<std::uint64_t> marketBids_;   ///< bids carried in them
+    std::vector<std::int64_t> marketStarve_;  ///< worst bid age (nsec)
     std::size_t failures_ = 0;
 };
 

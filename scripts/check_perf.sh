@@ -17,8 +17,9 @@
 # the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
 # BM_PageInOut), the fault path (BM_FullFaultPath, BM_FaultBatch,
 # BM_FaultRedeliver), the resolve path (BM_ResolveThroughBindings,
-# BM_ResolveHashedHit) and the sharded engine (BM_ShardedStep,
-# BM_CrossShardEvent) — must be present in the fresh run; their
+# BM_ResolveHashedHit), the sharded engine (BM_ShardedStep,
+# BM_CrossShardEvent) and the batched memory market
+# (BM_MarketRound) — must be present in the fresh run; their
 # absence fails the gate even if everything that did run was fast
 # enough.
 
@@ -76,7 +77,8 @@ missing = []
 required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
             "BM_FullFaultPath", "BM_FaultBatch", "BM_FaultRedeliver",
             "BM_ResolveThroughBindings", "BM_ResolveHashedHit",
-            "BM_ShardedStep", "BM_CrossShardEvent"]
+            "BM_ShardedStep", "BM_CrossShardEvent",
+            "BM_MarketRound"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
         missing.append(name)

@@ -51,7 +51,8 @@ BENCHES="table1_primitives table2_applications table3_vm_activity \
 table4_db_response ablation_manager_mode ablation_coloring \
 ablation_prefetch ablation_discardable ablation_market \
 ablation_clock_batch ablation_placement ablation_page_size \
-ablation_paging_period table_robustness table_scaleout"
+ablation_paging_period table_robustness table_scaleout \
+table_tenants"
 
 if [ "$sanitize" = 1 ]; then
     echo "== sanitize: building asan preset and running tests"
@@ -121,17 +122,18 @@ if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
 fi
 
 if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
-    echo "== determinism check: rerunning table_scaleout with --shards 8"
-    b=table_scaleout
-    "$bindir/$b" --jobs 1 --shards 8 --no-progress \
-        --json="$out/$b.s8.json" >"$out/$b.s8.txt" 2>/dev/null ||
-        { echo "FAIL  $b: shards=8 rerun exited nonzero"; fail=1; }
-    if ! cmp -s "$out/$b.json" "$out/$b.s8.json" ||
-        ! cmp -s "$out/$b.txt" "$out/$b.s8.txt"; then
-        echo "FAIL  $b: output differs between --shards 1 and --shards 8"
-        fail=1
-    fi
-    [ "$fail" = 0 ] && echo "OK    $b byte-identical at --shards 1 and --shards 8"
+    for b in table_scaleout table_tenants; do
+        echo "== determinism check: rerunning $b with --shards 8"
+        "$bindir/$b" --jobs 1 --shards 8 --no-progress \
+            --json="$out/$b.s8.json" >"$out/$b.s8.txt" 2>/dev/null ||
+            { echo "FAIL  $b: shards=8 rerun exited nonzero"; fail=1; }
+        if ! cmp -s "$out/$b.json" "$out/$b.s8.json" ||
+            ! cmp -s "$out/$b.txt" "$out/$b.s8.txt"; then
+            echo "FAIL  $b: output differs between --shards 1 and --shards 8"
+            fail=1
+        fi
+        [ "$fail" = 0 ] && echo "OK    $b byte-identical at --shards 1 and --shards 8"
+    done
 fi
 
 if [ "$perf" = 1 ] && [ "$fail" = 0 ]; then

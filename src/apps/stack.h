@@ -26,6 +26,7 @@ namespace vpp::apps {
 struct StackOptions
 {
     std::optional<mgr::MarketParams> market;
+    mgr::SpcmParams spcmParams; ///< sharding / batched-round knobs
     std::uint64_t ucdsPoolCapacity = 16384; ///< free-segment slots
     std::uint64_t ucdsInitialFrames = 2048;
     sim::Duration serverOverhead = sim::usec(200);
@@ -40,7 +41,7 @@ class VppStack
         : machine_(machine), kern(sim, machine),
           disk(sim, machine.diskLatency, machine.diskBandwidthMBps),
           server(sim, disk, opts.serverOverhead),
-          spcm(kern, opts.market),
+          spcm(kern, opts.market, opts.spcmParams),
           ucds(kern, &spcm, server, registry, opts.ucdsParams),
           io(kern, registry)
     {

@@ -572,6 +572,10 @@ namespace {
 thread_local std::uint64_t tlResolveHits = 0;
 thread_local std::uint64_t tlResolveMisses = 0;
 
+thread_local std::uint64_t tlMarketRounds = 0;
+thread_local std::uint64_t tlMarketBids = 0;
+thread_local sim::Duration tlMarketMaxStarve = 0;
+
 } // namespace
 
 void
@@ -591,6 +595,46 @@ std::uint64_t
 threadResolveMisses()
 {
     return tlResolveMisses;
+}
+
+void
+resetThreadMarketCounters()
+{
+    tlMarketRounds = 0;
+    tlMarketBids = 0;
+    tlMarketMaxStarve = 0;
+}
+
+void
+noteThreadMarketRound(std::uint64_t bids)
+{
+    ++tlMarketRounds;
+    tlMarketBids += bids;
+}
+
+void
+noteThreadMarketStarve(sim::Duration age)
+{
+    if (age > tlMarketMaxStarve)
+        tlMarketMaxStarve = age;
+}
+
+std::uint64_t
+threadMarketRounds()
+{
+    return tlMarketRounds;
+}
+
+std::uint64_t
+threadMarketBids()
+{
+    return tlMarketBids;
+}
+
+sim::Duration
+threadMarketMaxStarve()
+{
+    return tlMarketMaxStarve;
 }
 
 Kernel::Resolution

@@ -455,6 +455,20 @@ void resetThreadResolveCounters();
 std::uint64_t threadResolveHits();
 std::uint64_t threadResolveMisses();
 
+/**
+ * Per-thread memory-market counters, same pattern: the SPCM reports
+ * auction rounds, bids carried in them, and the worst unserved-bid age
+ * here; the sweep runner surfaces them on the stderr cost line. They
+ * live in the core library (not managers) so the sweep layer can
+ * reference them from benches that do not link vpp_managers.
+ */
+void resetThreadMarketCounters();
+void noteThreadMarketRound(std::uint64_t bids);
+void noteThreadMarketStarve(sim::Duration age);
+std::uint64_t threadMarketRounds();
+std::uint64_t threadMarketBids();
+sim::Duration threadMarketMaxStarve();
+
 /** Run a task to completion on a fresh simulation (test helper). */
 template <typename T>
 T

@@ -84,6 +84,8 @@ decstation5000_200()
     m.resumeThroughKernel = false; // R3000 allows direct resumption
     m.defaultMgrMode = ManagerMode::SeparateProcess;
 
+    m.mgrRequestBatch = 32;
+
     return m;
 }
 

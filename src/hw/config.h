@@ -112,6 +112,17 @@ struct MachineConfig
      */
     bool faultCoalescing = false;
 
+    /**
+     * Frames per SPCM replenish request — the one knob behind every
+     * manager's allocation batching. GenericSegmentManager asks for
+     * exactly this many; the default manager (UCDS), whose append
+     * workloads are batchier, asks for 2x unless its params override
+     * it. Tenant-scaling sweeps vary this single value instead of the
+     * two independently-tuned constants it replaced (generic 32,
+     * UCDS 64 — both preserved by the default).
+     */
+    std::uint64_t mgrRequestBatch = 32;
+
     std::uint64_t frames() const { return memoryBytes / pageSize; }
 
     /** Simulated time to execute @p n instructions on one CPU. */

@@ -64,6 +64,10 @@ struct PressureFaults
 {
     double stormProb = 0.0;      ///< P(reclaim storm per SPCM request)
     std::uint64_t stormFrames = 0; ///< frames demanded from each client
+    /// Clients swept per storm (round-robin). 0 — the default, and the
+    /// legacy behaviour — sweeps every registered client, which at
+    /// multi-tenant scale turns each storm into a thundering herd.
+    std::uint64_t stormClients = 0;
 };
 
 struct Config

@@ -92,6 +92,7 @@ class ServerPort
     callBatch(std::vector<Req> reqs)
     {
         ++calls_;
+        ++batchCalls_;
         batched_ += reqs.size();
         co_await sim_->delay(cost_.send);
         sim::Promise<std::vector<Resp>> promise(*sim_);
@@ -115,6 +116,12 @@ class ServerPort
     /** Requests that travelled inside a batch (not extra crossings). */
     std::uint64_t batchedRequests() const { return batched_; }
 
+    /**
+     * Crossings that carried a batch (subset of calls()); the
+     * amortisation ratio is batchedRequests() / batchCalls().
+     */
+    std::uint64_t batchCalls() const { return batchCalls_; }
+
   private:
     sim::Simulation *sim_;
     CallCost cost_;
@@ -122,6 +129,7 @@ class ServerPort
     sim::Channel<PendingBatch> batchQueue_;
     std::uint64_t calls_ = 0;
     std::uint64_t batched_ = 0;
+    std::uint64_t batchCalls_ = 0;
 };
 
 } // namespace vpp::ipc

@@ -24,7 +24,9 @@ DefaultSegmentManager::DefaultSegmentManager(Kernel &k,
                             spcm, kernel::kSystemUser),
       server_(&server), reg_(&reg), params_(params)
 {
-    requestBatch_ = params_.requestBatch;
+    requestBatch_ = params_.requestBatch
+                        ? params_.requestBatch
+                        : 2 * k.config().mgrRequestBatch;
 }
 
 sim::Task<SegmentId>

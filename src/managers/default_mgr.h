@@ -33,7 +33,11 @@ struct DefaultManagerParams
 {
     std::uint64_t appendUnitPages = 4; ///< 16 KB with 4 KB pages
     std::uint64_t protBatchPages = 8;  ///< sampling re-enable batch
-    std::uint64_t requestBatch = 64;   ///< frames per SPCM request
+    /// Frames per SPCM request; 0 (the default) derives
+    /// 2 * MachineConfig::mgrRequestBatch — the UCDS serves batchy
+    /// append workloads, so it rides the shared knob at twice the
+    /// generic managers' batch. A nonzero value overrides the knob.
+    std::uint64_t requestBatch = 0;
 };
 
 class DefaultSegmentManager : public GenericSegmentManager

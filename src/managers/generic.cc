@@ -28,6 +28,7 @@ GenericSegmentManager::GenericSegmentManager(Kernel &k, std::string name,
     : SegmentManager(std::move(name), mode), kern_(&k), spcm_(spcm),
       uid_(uid)
 {
+    requestBatch_ = k.config().mgrRequestBatch;
     if (spcm_) {
         client_ = spcm_->registerClient(
             SegmentManager::name(), uid, 0.0,

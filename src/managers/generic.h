@@ -291,7 +291,10 @@ class GenericSegmentManager : public kernel::SegmentManager
     kernel::Kernel &kern() { return *kern_; }
     SystemPageCacheManager *spcm() { return spcm_; }
 
-    std::uint64_t requestBatch_ = 32; ///< frames per SPCM request
+    /// Frames per SPCM request; seeded from
+    /// MachineConfig::mgrRequestBatch in the constructor so one knob
+    /// drives every manager's allocation batching.
+    std::uint64_t requestBatch_ = 32;
 
   private:
     kernel::Kernel *kern_;

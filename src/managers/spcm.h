@@ -9,13 +9,40 @@
  * coloring), applies the cross-user zero-fill policy, and optionally
  * runs the memory-market model: clients that exhaust their dram supply
  * are forced to return memory.
+ *
+ * At multi-tenant scale the single-server one-request-at-a-time shape
+ * stops working: every grant scans the whole physical segment and every
+ * bid pays its own Send/Reply crossing. SpcmParams turns on two
+ * independently optional mechanisms:
+ *
+ *  - sharded free lists (shards > 1): the pool is partitioned into
+ *    per-shard private free lists plus one shared overflow pool (the
+ *    probationary/protected split), making an unconstrained pick O(1)
+ *    instead of O(pool). Lists are rebuilt lazily when the kernel
+ *    bypasses the SPCM (e.g. unilateral reclamation of a crashed
+ *    manager's frames returns them straight to the physical segment).
+ *
+ *  - batched market rounds (batchedRounds): same-instant bids and
+ *    reclaim offers are collected into one auction round carried over
+ *    a single ipc::ServerPort::callBatch crossing. The round server
+ *    processes offers before bids (frames freed this round fund this
+ *    round's bids) and charges the migrate base cost once per round.
+ *    Admission control parks unfunded bids on a bounded wait queue and
+ *    retries them at the head of subsequent rounds until they age out,
+ *    so a starved bid is eventually answered with 0 rather than
+ *    deadlocking.
+ *
+ * Both default off; the default configuration takes the legacy code
+ * paths verbatim, so committed bench baselines stay byte-identical.
  */
 
 #ifndef VPP_MANAGERS_SPCM_H
 #define VPP_MANAGERS_SPCM_H
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,8 +51,9 @@
 #include "core/kernel.h"
 #include "inject/inject.h"
 #include "ipc/port.h"
-#include "sim/sync.h"
 #include "managers/market.h"
+#include "managers/slot_pool.h"
+#include "sim/sync.h"
 
 namespace vpp::mgr {
 
@@ -68,15 +96,54 @@ struct Constraint
     }
 };
 
+/** Scale knobs; the defaults reproduce the legacy single-server SPCM. */
+struct SpcmParams
+{
+    /// Free-list shards; 1 keeps the legacy whole-pool scan.
+    std::uint32_t shards = 1;
+    /// Fraction of frames in the shared (protected) pool; the rest is
+    /// split into per-shard private lists. Only meaningful with
+    /// shards > 1.
+    double protectedShare = 0.25;
+    /// Collect same-instant bids/offers into one auction round over a
+    /// single batched IPC crossing.
+    bool batchedRounds = false;
+    /// Admission control: unfunded bids may park and retry in later
+    /// rounds. 0 disables waiting (unfunded bids get 0 immediately).
+    std::uint32_t admissionMaxWaiters = 0;
+    /// A parked bid older than this is answered 0 instead of retried.
+    sim::Duration admissionMaxWait = 0;
+    /// Retry cadence when only parked waiters remain (no fresh bids).
+    sim::Duration admissionRetry = sim::usec(500);
+    /// Conventional-clock comparator: when a request cannot be fully
+    /// satisfied from the free pool, charge this much per *resident*
+    /// frame — the global clock hand sweeping memory for victims,
+    /// held under the single-server lock. 0 (the default, and the
+    /// V++ shape) skips the hunt: the market denies by price in O(1).
+    sim::Duration clockScanPerFrame = 0;
+};
+
+/** Per-tenant fairness / starvation counters (stderr cost line, tests). */
+struct TenantStats
+{
+    std::uint64_t bids = 0;         ///< requestPages calls observed
+    std::uint64_t bidsUnserved = 0; ///< bids answered with 0 frames
+    bool starving = false;          ///< in an unserved streak now
+    sim::SimTime starvingSince = 0; ///< start of the current streak
+    sim::Duration maxStarvation = 0; ///< longest unserved-bid age seen
+};
+
 class SystemPageCacheManager
 {
   public:
     /**
      * @param market  market parameters; nullopt disables charging and
      *                makes every request affordable.
+     * @param params  scale knobs; the default is the legacy shape.
      */
     SystemPageCacheManager(kernel::Kernel &k,
-                           std::optional<MarketParams> market);
+                           std::optional<MarketParams> market,
+                           SpcmParams params = {});
 
     /**
      * Register a client (a segment manager). @p reclaim is invoked by
@@ -160,23 +227,117 @@ class SystemPageCacheManager
 
     /**
      * Attach a fault-injection engine: each requestPages may then
-     * trigger a reclaim storm that forces every registered client to
-     * shed frames (a burst of the patrol's forced reclamation).
+     * trigger a reclaim storm that forces registered clients to shed
+     * frames (a burst of the patrol's forced reclamation). With
+     * PressureFaults::stormClients > 0 each storm sweeps only that
+     * many clients, round-robin, instead of the whole herd.
      */
     void setInjector(inject::Engine *e) { inject_ = e; }
     std::uint64_t stormsTriggered() const { return storms_; }
+
+    // ------------------------------------------------------------------
+    // Scale observability (sharding, rounds, fairness)
+    // ------------------------------------------------------------------
+
+    const SpcmParams &params() const { return sp_; }
+    bool sharded() const { return sp_.shards > 1; }
+
+    /**
+     * Free frames homed on shard @p s (s == shards selects the shared
+     * protected pool). Synchronises the lists first, so the answer
+     * reflects kernel-side bypasses.
+     */
+    std::uint64_t shardFreeFrames(std::uint32_t s);
+
+    /** Home shard of a frame (shards selects the shared pool). */
+    std::uint32_t homeShard(hw::FrameId f) const;
+
+    /** Shard whose private list serves client @p c first. */
+    std::uint32_t
+    clientShard(ClientId c) const
+    {
+        return sharded() ? c % sp_.shards : 0;
+    }
+
+    std::uint64_t marketRounds() const { return rounds_; }
+    std::uint64_t roundBids() const { return roundBids_; }
+    std::uint64_t roundOffers() const { return roundOffers_; }
+    std::uint64_t bidsWaited() const { return bidsWaited_; }
+    std::uint64_t bidsRejected() const { return bidsRejected_; }
+
+    /** IPC crossings consumed by batched rounds (one per round). */
+    std::uint64_t
+    roundCrossings() const
+    {
+        return roundPort_ ? roundPort_->calls() : 0;
+    }
+
+    const TenantStats &
+    tenantStats(ClientId c) const
+    {
+        return clients_.at(c).tenant;
+    }
+
+    /** Longest unserved-bid age observed across all tenants. */
+    sim::Duration maxStarvationSeen() const { return maxStarve_; }
 
   private:
     struct Client
     {
         DramAccount account;
         std::function<sim::Task<>(std::uint64_t)> reclaim;
+        TenantStats tenant;
+    };
+
+    /** One bid or reclaim offer travelling through a market round. */
+    struct MarketMsg
+    {
+        bool isBid = true;
+        ClientId client = 0;
+        kernel::SegmentId seg = kernel::kInvalidSegment;
+        std::vector<kernel::PageIndex> slots;
+        Constraint constraint;
+    };
+
+    struct RoundEntry
+    {
+        MarketMsg msg;
+        std::uint64_t want = 0;
+        sim::SimTime issued = 0;
+        std::shared_ptr<sim::Promise<std::uint64_t>> done;
     };
 
     bool contended() const;
     bool frameMatches(hw::FrameId f, const Constraint &c) const;
-    std::vector<hw::FrameId> pickFrames(std::uint64_t n,
-                                        const Constraint &c) const;
+    std::vector<hw::FrameId> pickFrames(ClientId c, std::uint64_t n,
+                                        const Constraint &con);
+
+    /** Rebuild the shard lists iff the kernel bypassed us. */
+    void syncShardLists();
+    void noteFrameFreed(hw::FrameId f);
+
+    /** Grant/return bodies shared by the legacy and round paths. */
+    sim::Task<std::uint64_t>
+    doGrant(ClientId c, kernel::SegmentId dst_seg,
+            const std::vector<kernel::PageIndex> &slots,
+            const Constraint &constraint, bool *charge_base);
+    sim::Task<std::uint64_t>
+    doReturn(ClientId c, kernel::SegmentId src_seg,
+             const std::vector<kernel::PageIndex> &slots);
+
+    /** Injected reclaim storm, honouring the stormClients fan-out. */
+    sim::Task<> stormSweep(std::uint64_t frames);
+
+    void noteBidOutcome(ClientId c, std::uint64_t want,
+                        std::uint64_t got);
+
+    /** Round machinery (batchedRounds). */
+    sim::Task<std::uint64_t>
+    roundRequest(bool is_bid, ClientId c, kernel::SegmentId seg,
+                 std::vector<kernel::PageIndex> slots,
+                 Constraint constraint);
+    sim::Task<> drainRounds();
+    sim::Task<> marketServer();
 
     kernel::Kernel *kern_;
     ipc::CallCost ipcCost_;
@@ -185,6 +346,7 @@ class SystemPageCacheManager
     /// concurrent requests could select the same frames.)
     sim::SimMutex serial_;
     std::optional<MemoryMarket> market_;
+    SpcmParams sp_;
     std::vector<Client> clients_;
     std::uint64_t grants_ = 0;
     std::uint64_t framesGranted_ = 0;
@@ -193,6 +355,37 @@ class SystemPageCacheManager
     bool patrolRunning_ = false;
     inject::Engine *inject_ = nullptr;
     std::uint64_t storms_ = 0;
+    std::size_t stormCursor_ = 0; ///< round-robin herd fan-out
+
+    // Sharded free lists: [0, shards) private, [shards] shared pool.
+    std::vector<SlotPool> shardFree_;
+    std::uint64_t privateFrames_ = 0;  ///< frames below this are private
+    std::uint64_t framesPerShard_ = 0;
+    /// Frames popped from the lists by an in-flight grant but not yet
+    /// migrated out of the physical segment; syncShardLists() must not
+    /// mistake them for a kernel-side bypass.
+    std::uint64_t unlinked_ = 0;
+
+    // Batched market rounds.
+    std::optional<ipc::ServerPort<MarketMsg, std::uint64_t>> roundPort_;
+    std::vector<RoundEntry> pendingRound_; ///< arrivals for next round
+    std::deque<RoundEntry> waitQueue_;     ///< parked unfunded bids
+    bool roundDraining_ = false;
+    /// Set while the round server executes a round: reclaim callbacks
+    /// it triggers (storms, patrol) re-enter returnPages, which must
+    /// take the direct path instead of parking an offer for the *next*
+    /// round (that would deadlock the current one). The direct path is
+    /// gated to the client being reclaimed (reclaimTarget_): any other
+    /// coroutine that resumes while the round server is suspended must
+    /// park for the next round, not cut the line.
+    bool inRound_ = false;
+    ClientId reclaimTarget_ = static_cast<ClientId>(-1);
+    std::uint64_t rounds_ = 0;
+    std::uint64_t roundBids_ = 0;
+    std::uint64_t roundOffers_ = 0;
+    std::uint64_t bidsWaited_ = 0;   ///< bids parked at least once
+    std::uint64_t bidsRejected_ = 0; ///< starved bids answered 0
+    sim::Duration maxStarve_ = 0;
 };
 
 } // namespace vpp::mgr
