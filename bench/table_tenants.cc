@@ -163,9 +163,18 @@ stormConfig(std::uint64_t row_seed, std::uint64_t storm_clients)
     return c;
 }
 
+/// Heterogeneous-income split (hetero row only): even-indexed
+/// tenants are "rich" — income and deposit comfortably covering a
+/// full 16-frame ask — odd ones "poor", whose income barely funds a
+/// frame or two, so the market's affordability cap bites.
+constexpr double kRichIncome = 0.4;
+constexpr double kRichDeposit = 0.25;
+constexpr double kPoorIncome = 0.01;
+constexpr double kPoorDeposit = 0.0;
+
 vppbench::RowResult
 runRow(std::uint64_t tenants, bool market_mode, bool storm,
-       std::uint64_t row_seed)
+       std::uint64_t row_seed, bool hetero = false)
 {
     hw::MachineConfig machine = hw::decstation5000_200();
     apps::StackOptions opts;
@@ -217,13 +226,19 @@ runRow(std::uint64_t tenants, bool market_mode, bool storm,
         TenantState &ts = w.tenants[t];
         kernel::UserId uid = 1000 + t;
         std::size_t idx = t;
+        bool rich = hetero && (t % 2 == 0);
+        double income =
+            hetero ? (rich ? kRichIncome : kPoorIncome) : 0.1;
         ts.client = st.spcm.registerClient(
-            "tenant" + std::to_string(t), uid, 0.1,
+            "tenant" + std::to_string(t), uid, income,
             [&w, idx](std::uint64_t n) {
                 return tenantShed(w, idx, n);
             });
         if (market_mode)
-            st.spcm.deposit(ts.client, 0.05);
+            st.spcm.deposit(ts.client,
+                            hetero ? (rich ? kRichDeposit
+                                           : kPoorDeposit)
+                                   : 0.05);
         ts.seg = st.kern.createSegmentNow(
             "tenant" + std::to_string(t), machine.pageSize,
             seg_pages, uid);
@@ -272,6 +287,32 @@ runRow(std::uint64_t tenants, bool market_mode, bool storm,
           static_cast<double>(st.spcm.framesReturned()));
     r.set("free_end", static_cast<double>(st.spcm.freeFrames()));
     r.set("invariant_ok", invariant_ok ? 1.0 : 0.0);
+    if (hetero) {
+        // Per-class rollup so the table can show that money moves
+        // the queue: richer tenants should see fewer unserved bids,
+        // less starvation, and more frames funded.
+        double rich_unserved = 0, poor_unserved = 0;
+        double rich_starve = 0, poor_starve = 0;
+        double rich_funded = 0, poor_funded = 0;
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            const TenantState &ts = w.tenants[t];
+            mgr::TenantStats stats = st.spcm.tenantStats(ts.client);
+            bool rich = (t % 2 == 0);
+            (rich ? rich_unserved : poor_unserved) +=
+                static_cast<double>(stats.bidsUnserved);
+            (rich ? rich_starve : poor_starve) = std::max(
+                rich ? rich_starve : poor_starve,
+                sim::toMsec(stats.maxStarvation));
+            (rich ? rich_funded : poor_funded) +=
+                static_cast<double>(ts.funded);
+        }
+        r.set("rich_unserved", rich_unserved);
+        r.set("poor_unserved", poor_unserved);
+        r.set("rich_starve_ms", rich_starve);
+        r.set("poor_starve_ms", poor_starve);
+        r.set("rich_funded", rich_funded);
+        r.set("poor_funded", poor_funded);
+    }
     return r;
 }
 
@@ -289,7 +330,11 @@ main(int argc, char **argv)
         std::uint64_t tenants;
         bool market;
         bool storm;
+        bool hetero = false;
     };
+    // The hetero row is appended LAST so the seed (300 + index) of
+    // every earlier row — and therefore its baseline bytes — is
+    // unchanged.
     std::vector<Row> rows = {
         {"v++ market 10", 10, true, false},
         {"v++ market 100", 100, true, false},
@@ -301,6 +346,7 @@ main(int argc, char **argv)
         {"conv clock 10k", 10000, false, false},
         {"v++ market 200 + storms", 200, true, true},
         {"conv clock 200 + storms", 200, false, true},
+        {"v++ market 20 hetero income", 20, true, false, true},
     };
 
     vppbench::Sweep sweep("table_tenants", opt);
@@ -308,7 +354,8 @@ main(int argc, char **argv)
         const Row &row = rows[i];
         std::uint64_t seed = 300 + i;
         sweep.add(row.label, [row, seed] {
-            return runRow(row.tenants, row.market, row.storm, seed);
+            return runRow(row.tenants, row.market, row.storm, seed,
+                          row.hetero);
         });
     }
     sweep.run();
@@ -391,6 +438,21 @@ main(int argc, char **argv)
                    sweep.get(9, "storms") > 0.0);
     check.that("market caps the thundering herd",
                sweep.get(8, "p99_us") < sweep.get(9, "p99_us"));
+
+    // Heterogeneous income: with rich tenants out-bidding poor ones
+    // for the same scarce replenishment stream, money must move the
+    // queue — richer tenants see fewer unserved bids, no worse
+    // starvation, and more frames funded.
+    const std::size_t hi = rows.size() - 1;
+    check.that("hetero: rich tenants see fewer unserved bids",
+               sweep.get(hi, "rich_unserved") <
+                   sweep.get(hi, "poor_unserved"));
+    check.that("hetero: rich starvation no worse than poor",
+               sweep.get(hi, "rich_starve_ms") <=
+                   sweep.get(hi, "poor_starve_ms"));
+    check.that("hetero: rich tenants funded more frames",
+               sweep.get(hi, "rich_funded") >
+                   sweep.get(hi, "poor_funded"));
 
     std::printf("\nShape: batched auction rounds answer every "
                 "same-window bid in one IPC crossing,\nso the "

@@ -17,9 +17,10 @@
 # the COW frame-store hot paths (BM_CopyFrame, BM_ZeroFill,
 # BM_PageInOut), the fault path (BM_FullFaultPath, BM_FaultBatch,
 # BM_FaultRedeliver), the resolve path (BM_ResolveThroughBindings,
-# BM_ResolveHashedHit), the sharded engine (BM_ShardedStep,
-# BM_CrossShardEvent) and the batched memory market
-# (BM_MarketRound) — must be present in the fresh run; their
+# BM_ResolveHashedHit, BM_PerCpuResolveHit), the sharded engine
+# (BM_ShardedStep, BM_CrossShardEvent), the batched memory market
+# (BM_MarketRound) and the shared-kernel fault path
+# (BM_SharedKernelFault) — must be present in the fresh run; their
 # absence fails the gate even if everything that did run was fast
 # enough.
 
@@ -77,8 +78,9 @@ missing = []
 required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
             "BM_FullFaultPath", "BM_FaultBatch", "BM_FaultRedeliver",
             "BM_ResolveThroughBindings", "BM_ResolveHashedHit",
+            "BM_PerCpuResolveHit",
             "BM_ShardedStep", "BM_CrossShardEvent",
-            "BM_MarketRound"]
+            "BM_MarketRound", "BM_SharedKernelFault"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
         missing.append(name)

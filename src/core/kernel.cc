@@ -55,6 +55,7 @@ Kernel::Kernel(sim::Simulation &s, const hw::MachineConfig &config)
     }
     byId_.push_back(phys.get());
     segments_[kPhysSegment] = std::move(phys);
+    segEpochs_.push_back(1); // phys segment's mutation epoch
     nextSegment_ = 1;
     if (config_.modelTlb)
         tlb_ = std::make_unique<hw::Tlb>(config_.tlbEntries);
@@ -127,6 +128,8 @@ Kernel::createSegmentNow(std::string name, std::uint32_t page_size,
     seg->setManager(mgr);
     if (id >= byId_.size())
         byId_.resize(id + 1, nullptr);
+    if (id >= segEpochs_.size())
+        segEpochs_.resize(id + 1, 1);
     byId_[id] = seg.get();
     segments_[id] = std::move(seg);
     ++stats_.segmentsCreated;
@@ -162,6 +165,7 @@ Kernel::bindRegionNow(SegmentId seg, PageIndex at, std::uint64_t pages,
                          prot & flag::kProtMask, copy_on_write});
     ++bindRefs_[target];
     invalidateResolutions();
+    bumpSegEpoch(seg);
 }
 
 void
@@ -173,6 +177,7 @@ Kernel::unbindRegionNow(SegmentId seg, PageIndex at)
         throw KernelError(KernelErrc::BadPage, "no region at page");
     --bindRefs_[b->target];
     invalidateResolutions();
+    bumpSegEpoch(seg);
 }
 
 void
@@ -258,6 +263,8 @@ Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
             *bytes_zeroed = zeroed;
         ++stats_.pagesMigrated;
         invalidateResolutions();
+        bumpSegEpoch(src);
+        bumpSegEpoch(dst);
         return 1;
     }
 
@@ -386,6 +393,8 @@ Kernel::migratePagesNow(SegmentId src, SegmentId dst, PageIndex src_page,
         *bytes_zeroed = zeroed;
     stats_.pagesMigrated += pages;
     invalidateResolutions();
+    bumpSegEpoch(src);
+    bumpSegEpoch(dst);
     return ndst;
 }
 
@@ -404,6 +413,7 @@ Kernel::modifyPageFlagsNow(SegmentId seg, PageIndex page,
         ++modified;
     }
     invalidateResolutions();
+    bumpSegEpoch(seg);
     return modified;
 }
 
@@ -541,6 +551,9 @@ Kernel::destroySegment(SegmentId seg)
     bindRefs_.erase(seg);
     ++stats_.segmentsDestroyed;
     invalidateResolutions();
+    // The epoch slot outlives the segment: stale per-CPU chains
+    // through the dead id must keep comparing unequal.
+    bumpSegEpoch(seg);
 }
 
 void
@@ -561,6 +574,8 @@ Kernel::sweepToPhysSegment(Segment &seg)
     }
     seg.pages().clear();
     invalidateResolutions();
+    bumpSegEpoch(seg.id());
+    bumpSegEpoch(kPhysSegment);
 }
 
 // ----------------------------------------------------------------------
@@ -638,14 +653,26 @@ threadMarketMaxStarve()
 }
 
 Kernel::Resolution
-Kernel::walkResolution(Segment &origin, SegmentId seg, PageIndex page)
+Kernel::walkResolution(Segment &origin, SegmentId seg, PageIndex page,
+                       SegmentId *chain, std::uint32_t *chain_len)
 {
     Resolution r;
     SegmentId cur_seg = seg;
     PageIndex cur_page = page;
+    std::uint32_t visited = 0;
     for (int depth = 0; depth < kMaxBindingDepth; ++depth) {
         Segment &s =
             cur_seg == seg ? origin : segmentOrThrow(cur_seg);
+        if (chain) {
+            if (visited < kResolveChainMax)
+                chain[visited] = cur_seg;
+            ++visited;
+            if (chain_len) {
+                *chain_len = visited <= kResolveChainMax
+                                 ? visited
+                                 : UINT32_MAX;
+            }
+        }
         if (!s.inRange(cur_page))
             throw KernelError(KernelErrc::BadPage,
                               "page beyond segment limit");
@@ -679,8 +706,9 @@ Kernel::Resolution
 Kernel::resolve(SegmentId seg, PageIndex page)
 {
     Segment &origin = segmentOrThrow(seg);
-    if (const Resolution *c =
-            origin.cachedResolution(page, resolveEpoch_)) {
+    const std::uint64_t epoch =
+        resolveEpoch_.load(std::memory_order_relaxed);
+    if (const Resolution *c = origin.cachedResolution(page, epoch)) {
         ++stats_.resolveHits;
         ++tlResolveHits;
         return *c;
@@ -692,7 +720,7 @@ Kernel::resolve(SegmentId seg, PageIndex page)
     // the epoch before this page can be asked for again; caching it
     // would only displace a live entry.
     if (r.present)
-        origin.storeResolution(page, r, resolveEpoch_);
+        origin.storeResolution(page, r, epoch);
     return r;
 }
 
@@ -701,6 +729,169 @@ Kernel::resolveUncached(SegmentId seg, PageIndex page)
 {
     Segment &origin = segmentOrThrow(seg);
     return walkResolution(origin, seg, page);
+}
+
+// ----------------------------------------------------------------------
+// Shared-kernel sharding: per-CPU caches and fault queues
+// ----------------------------------------------------------------------
+
+void
+Kernel::configureCpus(unsigned cpus, bool snapshot_epochs)
+{
+    cpus_.clear();
+    cpus_.reserve(cpus);
+    for (unsigned i = 0; i < cpus; ++i)
+        cpus_.push_back(std::make_unique<CpuState>());
+    cpuSnapshotMode_ = snapshot_epochs;
+    if (snapshot_epochs)
+        publishCpuEpochs();
+}
+
+void
+Kernel::publishCpuEpochs()
+{
+    segEpochSnapshot_ = segEpochs_;
+}
+
+const CpuResolution *
+Kernel::cpuResolve(unsigned cpu, SegmentId seg, PageIndex page)
+{
+    CpuState &c = *cpus_.at(cpu);
+    // Live mode validates against the mutable epoch table (strict,
+    // immediate invalidation); snapshot mode against the copy last
+    // published from single-threaded barrier context, which remote
+    // shards can read while the home shard mutates the live table.
+    const std::vector<std::uint64_t> &epochs =
+        cpuSnapshotMode_ ? segEpochSnapshot_ : segEpochs_;
+    if (const CpuResolution *r = c.cache.lookup(seg, page, epochs)) {
+        ++c.hits;
+        return r;
+    }
+    ++c.misses;
+    return nullptr;
+}
+
+void
+Kernel::cpuStore(unsigned cpu, const CpuResolution &r)
+{
+    if (!r.present || r.chainLen == 0 || r.chainLen > kResolveChainMax)
+        return;
+    cpus_.at(cpu)->cache.store(r);
+}
+
+CpuResolution
+Kernel::resolveForCpu(SegmentId seg, PageIndex page)
+{
+    Segment &origin = segmentOrThrow(seg);
+    SegmentId chain[kResolveChainMax];
+    std::uint32_t len = 0;
+    Resolution r = walkResolution(origin, seg, page, chain, &len);
+    CpuResolution out;
+    out.originSeg = seg;
+    out.originPage = page;
+    out.present = r.present;
+    out.seg = r.seg;
+    out.page = r.page;
+    out.regionProt = r.regionProt;
+    out.viaCow = r.viaCow;
+    out.cowSeg = r.cowSeg;
+    out.cowPage = r.cowPage;
+    if (r.present) {
+        out.frame = r.entry->frame;
+        out.flags = r.entry->flags;
+        if (len >= 1 && len <= kResolveChainMax) {
+            // Sum the *live* epochs: in snapshot mode the entry stays
+            // conservatively invalid until the next publish catches
+            // the snapshot up to this fill.
+            std::uint64_t sum = 0;
+            for (std::uint32_t i = 0; i < len; ++i) {
+                out.chain[i] = chain[i];
+                sum += segEpochs_[chain[i]];
+            }
+            out.chainLen = len;
+            out.epochSum = sum;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+Kernel::cpuHits(unsigned cpu) const
+{
+    return cpus_.at(cpu)->hits;
+}
+
+std::uint64_t
+Kernel::cpuMisses(unsigned cpu) const
+{
+    return cpus_.at(cpu)->misses;
+}
+
+sim::Task<>
+Kernel::touchOnCpu(unsigned cpu, Process &p, SegmentId seg,
+                   PageIndex page, AccessType a)
+{
+    if (cpu >= cpus_.size())
+        throw KernelError(KernelErrc::BadPage,
+                          "no such cpu " + std::to_string(cpu));
+    CpuState &c = *cpus_[cpu];
+    auto done = std::make_shared<sim::Promise<>>(*sim_);
+    c.pending.push_back(PendingCpuTouch{&p, seg, page, a, done});
+    ++stats_.cpuTouchesQueued;
+    if (!cpuDraining_) {
+        cpuDraining_ = true;
+        sim_->spawn(drainCpuTouches());
+    }
+    co_await done->future();
+}
+
+sim::Task<>
+Kernel::drainCpuTouches()
+{
+    // Yield once so every touch raised at this instant is parked
+    // first, then release them in CPU-id order: the order same-instant
+    // faults reach the coalescing queues (and so the batch composition
+    // managers observe) depends only on CPU ids, never on which shard
+    // delivered which touch first.
+    co_await sim_->yield();
+    for (;;) {
+        bool any = false;
+        for (auto &cs : cpus_) {
+            if (cs->pending.empty())
+                continue;
+            any = true;
+            std::vector<PendingCpuTouch> batch =
+                std::move(cs->pending);
+            cs->pending.clear();
+            for (PendingCpuTouch &t : batch)
+                sim_->spawn(runCpuTouch(std::move(t)));
+        }
+        if (!any)
+            break;
+        ++stats_.cpuDrains;
+        // Another yield catches touches enqueued later within this
+        // same instant (event chains behind the first wave).
+        co_await sim_->yield();
+    }
+    cpuDraining_ = false;
+}
+
+sim::Task<>
+Kernel::runCpuTouch(PendingCpuTouch t)
+{
+    try {
+        co_await touchSegment(*t.proc, t.seg, t.page, t.access);
+        t.done->setValue();
+    } catch (...) {
+        t.done->setError(std::current_exception());
+    }
+}
+
+void
+addThreadResolveCounts(std::uint64_t hits, std::uint64_t misses)
+{
+    tlResolveHits += hits;
+    tlResolveMisses += misses;
 }
 
 sim::SimMutex &
@@ -1072,8 +1263,12 @@ Kernel::reclaimUnresponsive(SegmentManager *mgr)
             seg->pages().erase(page);
             reclaimed += fpp;
         }
+        if (!victims.empty())
+            bumpSegEpoch(sid);
     }
     invalidateResolutions();
+    if (reclaimed)
+        bumpSegEpoch(kPhysSegment);
     return reclaimed;
 }
 

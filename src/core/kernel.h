@@ -19,6 +19,7 @@
 #ifndef VPP_CORE_KERNEL_H
 #define VPP_CORE_KERNEL_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -280,6 +281,10 @@ class Kernel
         std::uint64_t faultBatches = 0;   ///< coalesced dispatches
         std::uint64_t faultsCoalesced = 0; ///< faults carried by them
 
+        // Shared-kernel per-CPU fault path.
+        std::uint64_t cpuTouchesQueued = 0; ///< touches parked on CPU queues
+        std::uint64_t cpuDrains = 0;        ///< CPU-queue drain passes
+
         // Resilience / failure-path counters.
         std::uint64_t faultTimeouts = 0;   ///< deadline expiries
         std::uint64_t faultRedeliveries = 0;
@@ -314,6 +319,91 @@ class Kernel
      * linear-rescan oracle differential tests compare against.
      */
     Resolution resolveUncached(SegmentId seg, PageIndex page);
+
+    // ------------------------------------------------------------------
+    // Shared-kernel sharding: per-CPU resolve caches and fault queues
+    // ------------------------------------------------------------------
+    //
+    // One kernel can service CPUs owned by several shards of a
+    // ShardedSimulation. The contract that keeps this deterministic
+    // and race-free:
+    //
+    //  - cpuResolve/cpuStore for CPU c are called only by the shard
+    //    that owns CPU c; each CpuState is single-writer.
+    //  - A probe validates against a per-segment epoch table. In
+    //    *live* mode (snapshot_epochs = false, the unsharded case)
+    //    that is `segEpochs_` itself: every mutation invalidates
+    //    affected entries strictly and immediately. In *snapshot*
+    //    mode the probe reads `segEpochSnapshot_`, a copy published
+    //    only from the sharded engine's single-threaded barrier via
+    //    publishCpuEpochs() — remote shards may serve a stale entry
+    //    until the next epoch boundary (bounded by the engine's
+    //    lookahead), but never observe a torn or racing table.
+    //  - All kernel mutation (touchOnCpu faults, migrate, reclaim)
+    //    happens on the kernel's home shard, arriving from remote
+    //    shards through the engine's mailboxes in canonical merge
+    //    order, so manager-visible batch composition is identical at
+    //    any worker count.
+
+    /**
+     * Create @p cpus per-CPU resolve caches (replacing any existing
+     * ones). @p snapshot_epochs selects snapshot validation (sharded
+     * runs) over live validation (single-shard runs).
+     */
+    void configureCpus(unsigned cpus, bool snapshot_epochs);
+
+    unsigned cpuCount() const
+    {
+        return static_cast<unsigned>(cpus_.size());
+    }
+
+    /**
+     * Publish the current per-segment epochs to the snapshot probes
+     * validate against. Call from single-threaded context only (the
+     * sharded engine's barrier hook, or tests).
+     */
+    void publishCpuEpochs();
+
+    /**
+     * Probe CPU @p cpu's cache. Returns the cached resolution on a
+     * hit, nullptr on a miss; counts per-CPU hit/miss. Safe to call
+     * from the owning shard's worker thread concurrently with other
+     * CPUs' probes and (in snapshot mode) with home-shard mutation.
+     */
+    const CpuResolution *
+    cpuResolve(unsigned cpu, SegmentId seg, PageIndex page);
+
+    /** Install a resolution into CPU @p cpu's cache (owner shard only). */
+    void cpuStore(unsigned cpu, const CpuResolution &r);
+
+    /**
+     * Resolve (seg, page) by walking the binding chain and package the
+     * result as a cacheable value, recording the chain segments and
+     * their epoch sum. Home shard only. Non-present or deeper than
+     * kResolveChainMax resolutions come back with chainLen 0 —
+     * cpuStore ignores those.
+     */
+    CpuResolution resolveForCpu(SegmentId seg, PageIndex page);
+
+    /**
+     * Fault entry point for a CPU: parks the touch on the CPU's
+     * in-queue; a single drain walks the queues in CPU-id order and
+     * feeds the faults through the regular touchSegment path (and so
+     * into the coalescing/batch machinery). Same-instant faults from
+     * many CPUs therefore reach managers in one deterministic batch
+     * order regardless of how many shards raised them.
+     */
+    sim::Task<> touchOnCpu(unsigned cpu, Process &p, SegmentId seg,
+                           PageIndex page, AccessType a);
+
+    std::uint64_t cpuHits(unsigned cpu) const;
+    std::uint64_t cpuMisses(unsigned cpu) const;
+
+    /** Current mutation epoch of a segment (tests). */
+    std::uint64_t segmentEpoch(SegmentId s) const
+    {
+        return s < segEpochs_.size() ? segEpochs_[s] : 0;
+    }
 
   private:
     static constexpr int kMaxFaultRetries = 8;
@@ -379,7 +469,26 @@ class Kernel
      * anything that changes what resolve() could observe: migrations,
      * bind/unbind, flag edits, segment destruction.
      */
-    void invalidateResolutions() { ++resolveEpoch_; }
+    void invalidateResolutions()
+    {
+        resolveEpoch_.store(
+            resolveEpoch_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+    }
+
+    /**
+     * Bump one segment's mutation epoch, invalidating exactly the
+     * per-CPU entries whose resolution chain passed through it. Every
+     * invalidateResolutions() site also names the segments it touched
+     * via this — the global epoch stays the coarse per-Segment cache
+     * protocol, the per-segment epochs the fine-grained per-CPU one.
+     */
+    void bumpSegEpoch(SegmentId s)
+    {
+        if (s < segEpochs_.size()) [[likely]]
+            ++segEpochs_[s];
+    }
+
 
     void sweepToPhysSegment(Segment &seg);
 
@@ -407,9 +516,16 @@ class Kernel
 
     [[noreturn]] static void throwBadSegment(SegmentId s);
 
-    /** The shared cache-free resolution walk. */
+    /**
+     * The shared cache-free resolution walk. When @p chain is given
+     * it records every segment id visited (origin through final
+     * owner) up to kResolveChainMax entries; *chain_len comes back
+     * UINT32_MAX when the walk was deeper than fits (uncacheable).
+     */
     Resolution walkResolution(Segment &origin, SegmentId seg,
-                              PageIndex page);
+                              PageIndex page,
+                              SegmentId *chain = nullptr,
+                              std::uint32_t *chain_len = nullptr);
 
     std::uint32_t framesPerPage(const Segment &s) const;
 
@@ -436,9 +552,49 @@ class Kernel
     };
 
     std::map<SegmentManager *, FaultQueue> faultQueues_;
+
+    /** A CPU touch parked on its in-queue awaiting the drain. */
+    struct PendingCpuTouch
+    {
+        Process *proc = nullptr;
+        SegmentId seg = kInvalidSegment;
+        PageIndex page = 0;
+        AccessType access = AccessType::Read;
+        std::shared_ptr<sim::Promise<>> done;
+    };
+
+    /**
+     * Everything a simulated CPU owns. During a sharded run each
+     * CpuState is read and written only by its owner shard, except
+     * `pending`, which only the kernel's home shard touches.
+     */
+    struct CpuState
+    {
+        CpuResolveCache cache;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::vector<PendingCpuTouch> pending;
+    };
+
+    sim::Task<> drainCpuTouches();
+    sim::Task<> runCpuTouch(PendingCpuTouch t);
+
+    std::vector<std::unique_ptr<CpuState>> cpus_;
+    bool cpuSnapshotMode_ = false;
+    bool cpuDraining_ = false;
+
+    /**
+     * Per-segment mutation epochs, dense by SegmentId (slots survive
+     * segment destruction so stale chains through a dead id still
+     * compare unequal). The snapshot is the copy remote shards
+     * validate against between barrier publishes.
+     */
+    std::vector<std::uint64_t> segEpochs_;
+    std::vector<std::uint64_t> segEpochSnapshot_;
+
     std::unique_ptr<hw::Tlb> tlb_;
     Stats stats_;
-    std::uint64_t resolveEpoch_ = 1; ///< segment caches start at 0
+    std::atomic<std::uint64_t> resolveEpoch_{1}; ///< segment caches start at 0
     ResiliencePolicy resilience_;
     SegmentManager *defaultMgr_ = nullptr;
     inject::Engine *inject_ = nullptr;
@@ -454,6 +610,13 @@ class Kernel
 void resetThreadResolveCounters();
 std::uint64_t threadResolveHits();
 std::uint64_t threadResolveMisses();
+
+/**
+ * Fold externally-merged counts (e.g. per-CPU cache hits gathered in
+ * CPU-id order after a shared-kernel run) into this thread's resolve
+ * counters so they show on the sweep cost line.
+ */
+void addThreadResolveCounts(std::uint64_t hits, std::uint64_t misses);
 
 /**
  * Per-thread memory-market counters, same pattern: the SPCM reports

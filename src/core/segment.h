@@ -143,6 +143,138 @@ class ResolveCache
     std::unique_ptr<Entry[]> slots_;
 };
 
+/**
+ * Longest resolution chain a per-CPU cache entry will record. Deeper
+ * chains (up to the kernel's binding-depth limit) still resolve, they
+ * are just never cached per-CPU.
+ */
+inline constexpr std::uint32_t kResolveChainMax = 4;
+
+/**
+ * A resolution by value: everything a CPU needs to satisfy a mapped
+ * reference locally, with no pointers into kernel structures. Shards
+ * other than the kernel's home shard hold these in per-CPU caches, so
+ * the hot resolve path never dereferences cross-shard state — the
+ * entry carries the frame, flags and region protection outright.
+ *
+ * Validity is per-segment: `chain` records every segment the
+ * resolution walked through (origin, intermediate bindings, final
+ * owner) and `epochSum` the sum of their mutation epochs at fill
+ * time. Epochs only grow, so the sum is unchanged iff no chain
+ * segment was mutated — a migrate into an unrelated segment leaves
+ * the entry live, which is what lets many CPUs fault concurrently
+ * without flushing each other's caches.
+ */
+struct CpuResolution
+{
+    SegmentId originSeg = kInvalidSegment; ///< cache key
+    PageIndex originPage = 0;              ///< cache key
+
+    bool present = false;
+    SegmentId seg = kInvalidSegment; ///< entry owner / fault target
+    PageIndex page = 0;
+    hw::FrameId frame = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t regionProt = flag::kProtMask;
+    bool viaCow = false;
+    SegmentId cowSeg = kInvalidSegment;
+    PageIndex cowPage = 0;
+
+    std::uint32_t chainLen = 0; ///< 0 == never valid (empty slot)
+    SegmentId chain[kResolveChainMax] = {};
+    std::uint64_t epochSum = 0;
+};
+
+/**
+ * Per-CPU two-level hashed cache of CpuResolution values, the same
+ * primary+victim shape as ResolveCache but keyed by (segment, page)
+ * and validated against the per-segment epoch table instead of the
+ * global epoch. One instance per simulated CPU; during a sharded run
+ * each instance is probed and filled only by the shard that owns its
+ * CPU, so it needs no locking.
+ */
+class CpuResolveCache
+{
+  public:
+    const CpuResolution *
+    lookup(SegmentId seg, PageIndex page,
+           const std::vector<std::uint64_t> &epochs)
+    {
+        if (!slots_)
+            return nullptr;
+        CpuResolution &e = slots_[h1(seg, page)];
+        if (matches(e, seg, page, epochs))
+            return &e;
+        CpuResolution &v = slots_[kPrimary + h2(seg, page)];
+        if (matches(v, seg, page, epochs)) {
+            // Victim hit: promote to primary, demote the displaced
+            // entry into the victim slot it hashes to (here).
+            std::swap(e, v);
+            return &e;
+        }
+        return nullptr;
+    }
+
+    void
+    store(const CpuResolution &r)
+    {
+        if (!slots_) {
+            // Value-initialised: chainLen 0 never matches.
+            slots_ =
+                std::make_unique<CpuResolution[]>(kPrimary + kSecondary);
+        }
+        CpuResolution &e = slots_[h1(r.originSeg, r.originPage)];
+        if (e.chainLen != 0 &&
+            (e.originSeg != r.originSeg || e.originPage != r.originPage))
+            slots_[kPrimary + h2(e.originSeg, e.originPage)] = e;
+        e = r;
+    }
+
+  private:
+    static constexpr std::uint32_t kPrimary = 128;
+    static constexpr std::uint32_t kSecondary = 64;
+
+    static bool
+    matches(const CpuResolution &e, SegmentId seg, PageIndex page,
+            const std::vector<std::uint64_t> &epochs)
+    {
+        if (e.chainLen == 0 || e.originSeg != seg ||
+            e.originPage != page)
+            return false;
+        // Re-sum the chain segments' epochs: epochs are monotonic, so
+        // equality means no chain segment was mutated since the fill.
+        std::uint64_t sum = 0;
+        for (std::uint32_t i = 0; i < e.chainLen; ++i) {
+            SegmentId s = e.chain[i];
+            if (s >= epochs.size())
+                return false;
+            sum += epochs[s];
+        }
+        return sum == e.epochSum;
+    }
+
+    /** Fibonacci-style multiplicative hashes over (seg, page). */
+    static std::uint32_t
+    h1(SegmentId seg, PageIndex page)
+    {
+        return static_cast<std::uint32_t>(
+            ((page * 0x9e3779b97f4a7c15ull) ^
+             (seg * 0xbf58476d1ce4e5b9ull)) >>
+            57); // top 7 bits: 0..127
+    }
+
+    static std::uint32_t
+    h2(SegmentId seg, PageIndex page)
+    {
+        return static_cast<std::uint32_t>(
+            ((page * 0x7f4a7c159e3779b9ull) ^
+             (seg * 0x94d049bb133111ebull)) >>
+            58); // top 6 bits: 0..63
+    }
+
+    std::unique_ptr<CpuResolution[]> slots_;
+};
+
 class Segment
 {
   public:

@@ -1,6 +1,7 @@
 #include "sim/shard.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -91,6 +92,18 @@ ShardedSimulation::ShardedSimulation(unsigned shards,
         throw SimPanic("ShardedSimulation lookahead must be > 0");
     if (workers == 0)
         workers = defaultWorkers();
+    if (workers > shards) {
+        // Extra workers would only sit at the barrier: each shard is
+        // drained by exactly one worker per window. Clamp, but say so
+        // on stderr (the diffed stdout/JSON stay byte-identical) —
+        // a silently ignored --shards is a confusing way to discover
+        // the scenario's shard count is the real parallelism cap.
+        std::fprintf(stderr,
+                     "ShardedSimulation: clamping %u workers to the "
+                     "%u-shard scenario (extra workers would idle)\n",
+                     workers, shards);
+        ++clamped_;
+    }
     workers_ = std::min(workers, shards);
     shards_.reserve(shards);
     for (unsigned i = 0; i < shards; ++i)
@@ -209,6 +222,13 @@ ShardedSimulation::computeHorizon()
                    ? Simulation::kNoEvent
                    : gm + lookahead_;
     ++epochs_;
+    // Single-threaded by construction (we are the barrier-A
+    // completion): shared state published here is visible to every
+    // shard's window via the barrier's release, and the publish point
+    // is a pure function of the epoch sequence — identical at any
+    // worker count.
+    if (epochHook_)
+        epochHook_();
 }
 
 void

@@ -119,6 +119,27 @@ class ShardedSimulation
     /** Epoch windows executed so far (deterministic). */
     std::uint64_t epochs() const { return epochs_; }
 
+    /**
+     * Hook run at the start of every epoch window, from the
+     * single-threaded barrier-A completion (after the horizon is
+     * proven, before any shard drains). The barrier's acquire/release
+     * handshake orders it against all shard work on both sides, so it
+     * is the one safe place to publish shared state that every shard
+     * may read during the window — the kernel's per-segment epoch
+     * snapshot uses exactly this. It fires identically at any worker
+     * count (workers == 1 runs the same completion inline).
+     */
+    void setEpochHook(std::function<void()> hook)
+    {
+        epochHook_ = std::move(hook);
+    }
+
+    /**
+     * Times the constructor clamped a requested worker count down to
+     * the shard count (warned on stderr). Exposed for tests.
+     */
+    unsigned clampedWorkerRequests() const { return clamped_; }
+
     /** Cross-shard events posted so far (deterministic). */
     std::uint64_t crossEvents() const;
 
@@ -223,6 +244,8 @@ class ShardedSimulation
     std::unique_ptr<EpochBarrier> barrierB_;
     SimTime horizon_ = 0;
     std::uint64_t epochs_ = 0;
+    std::function<void()> epochHook_;
+    unsigned clamped_ = 0;
     bool done_ = false;
     bool running_ = false;
 };
