@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,8 @@
 #include "inject/inject.h"
 #include "managers/generic.h"
 #include "managers/spcm.h"
+#include "policy/clock.h"
+#include "policy/policy.h"
 #include "sim/random.h"
 #include "sim/shard.h"
 #include "uio/paging.h"
@@ -589,6 +593,73 @@ BM_Xoshiro(benchmark::State &state)
         benchmark::DoNotOptimize(rng.next());
 }
 BENCHMARK(BM_Xoshiro);
+
+// The replacement-policy hooks sit on the clockPass hot path, so the
+// virtual-dispatch overhead vs the old inlined clock is gated:
+// scripts/check_perf.sh requires BM_PolicyTouch within 1.1x of
+// BM_PolicyTouchInline.
+constexpr std::uint64_t kPolicyPages = 1024;
+
+void
+BM_PolicyTouch(benchmark::State &state)
+{
+    policy::PolicyParams pp;
+    pp.capacityHint = kPolicyPages;
+    pp.clockSecondChance = true;
+    // The factory lives in another TU, so the compiler cannot prove
+    // the dynamic type: every touch pays the virtual call, exactly
+    // like the manager's policy_ pointer does.
+    std::unique_ptr<policy::ReplacementPolicy> p =
+        policy::make(policy::Kind::Clock, pp);
+    for (std::uint64_t i = 0; i < kPolicyPages; ++i)
+        p->insert(policy::makePageId(1, i));
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        p->touch(policy::makePageId(1, i++ & (kPolicyPages - 1)));
+    benchmark::DoNotOptimize(p->stats().touches);
+}
+BENCHMARK(BM_PolicyTouch);
+
+void
+BM_PolicyTouchInline(benchmark::State &state)
+{
+    policy::PolicyParams pp;
+    pp.capacityHint = kPolicyPages;
+    pp.clockSecondChance = true;
+    policy::ClockPolicy p(pp); // final class, direct calls
+    for (std::uint64_t i = 0; i < kPolicyPages; ++i)
+        p.insert(policy::makePageId(1, i));
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        p.touch(policy::makePageId(1, i++ & (kPolicyPages - 1)));
+    benchmark::DoNotOptimize(p.stats().touches);
+}
+BENCHMARK(BM_PolicyTouchInline);
+
+void
+BM_PolicyVictim(benchmark::State &state)
+{
+    // Steady-state evict+insert throughput per online policy (the
+    // arg indexes kAllKinds: 0 clock, 1 slru, 2 2q, 3 wsclock).
+    policy::Kind kind =
+        policy::kAllKinds[static_cast<std::size_t>(state.range(0))];
+    policy::PolicyParams pp;
+    pp.capacityHint = kPolicyPages;
+    pp.clockSecondChance = true;
+    std::unique_ptr<policy::ReplacementPolicy> p =
+        policy::make(kind, pp);
+    std::uint64_t next = 0;
+    for (; next < kPolicyPages; ++next)
+        p->insert(policy::makePageId(1, next));
+    for (auto _ : state) {
+        p->setNow(next);
+        std::optional<policy::PageId> v = p->victim();
+        benchmark::DoNotOptimize(v);
+        p->insert(policy::makePageId(1, next++));
+    }
+    state.SetLabel(std::string(policy::kindName(kind)));
+}
+BENCHMARK(BM_PolicyVictim)->DenseRange(0, 3);
 
 } // namespace
 

@@ -66,6 +66,12 @@ struct Options
     unsigned shards = 0;
     std::string jsonPath;  ///< empty = no JSON; "-" = stdout
     bool progress = true;
+    /// Replacement-policy filter for policy-aware benches
+    /// (bench/ablation_policy): run only rows for this policy name
+    /// ("clock", "slru", "2q", "wsclock", "belady"). Empty (the
+    /// default, or VPP_POLICY env) = all policies. Benches without a
+    /// policy axis ignore it.
+    std::string policy;
 };
 
 inline void
@@ -73,8 +79,8 @@ usage(const char *benchName)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--jobs N] [--shards N] [--json[=PATH]] "
-        "[--no-progress]\n"
+        "usage: %s [--jobs N] [--shards N] [--policy NAME] "
+        "[--json[=PATH]] [--no-progress]\n"
         "  --jobs N       worker threads for the sweep (default: \n"
         "                 VPP_JOBS env var, else hardware "
         "concurrency);\n"
@@ -83,6 +89,12 @@ usage(const char *benchName)
         "row\n"
         "                 (default: VPP_SHARDS env var, else 1);\n"
         "                 results are bit-identical for any N\n"
+        "  --policy NAME  policy-aware benches: run only rows for "
+        "this\n"
+        "                 replacement policy (clock, slru, 2q, "
+        "wsclock,\n"
+        "                 belady; default: VPP_POLICY env var, else "
+        "all)\n"
         "  --json[=PATH]  emit machine-readable metrics (stdout if "
         "no PATH)\n"
         "  --no-progress  suppress the stderr progress/cost report\n",
@@ -107,6 +119,10 @@ parseArgs(int argc, char **argv, const char *benchName)
         } else if (std::strncmp(a, "--shards=", 9) == 0) {
             opt.shards = static_cast<unsigned>(
                 std::strtoul(a + 9, nullptr, 10));
+        } else if (std::strcmp(a, "--policy") == 0 && i + 1 < argc) {
+            opt.policy = argv[++i];
+        } else if (std::strncmp(a, "--policy=", 9) == 0) {
+            opt.policy = a + 9;
         } else if (std::strcmp(a, "--json") == 0) {
             opt.jsonPath = "-";
         } else if (std::strncmp(a, "--json=", 7) == 0) {
@@ -123,6 +139,10 @@ parseArgs(int argc, char **argv, const char *benchName)
             usage(benchName);
             std::exit(2);
         }
+    }
+    if (opt.policy.empty()) {
+        if (const char *env = std::getenv("VPP_POLICY"))
+            opt.policy = env;
     }
     return opt;
 }

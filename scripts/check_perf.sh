@@ -19,10 +19,15 @@
 # BM_FaultRedeliver), the resolve path (BM_ResolveThroughBindings,
 # BM_ResolveHashedHit, BM_PerCpuResolveHit), the sharded engine
 # (BM_ShardedStep, BM_CrossShardEvent), the batched memory market
-# (BM_MarketRound) and the shared-kernel fault path
-# (BM_SharedKernelFault) — must be present in the fresh run; their
-# absence fails the gate even if everything that did run was fast
-# enough.
+# (BM_MarketRound), the shared-kernel fault path
+# (BM_SharedKernelFault) and the replacement-policy hooks
+# (BM_PolicyTouch, BM_PolicyVictim) — must be present in the fresh
+# run; their absence fails the gate even if everything that did run
+# was fast enough. The policy hooks additionally carry a pair gate:
+# BM_PolicyTouch (virtual dispatch through the ReplacementPolicy
+# interface) must stay within 1.1x of BM_PolicyTouchInline (the same
+# clock called directly), so the src/policy refactor can never
+# quietly tax the clockPass hot path.
 
 set -eu
 
@@ -80,7 +85,8 @@ required = ["BM_CopyFrame", "BM_ZeroFill", "BM_PageInOut",
             "BM_ResolveThroughBindings", "BM_ResolveHashedHit",
             "BM_PerCpuResolveHit",
             "BM_ShardedStep", "BM_CrossShardEvent",
-            "BM_MarketRound", "BM_SharedKernelFault"]
+            "BM_MarketRound", "BM_SharedKernelFault",
+            "BM_PolicyTouch", "BM_PolicyVictim"]
 for name in required:
     if not any(n == name or n.startswith(name + "/") for n in new):
         missing.append(name)
@@ -108,6 +114,19 @@ for name, (t_new, unit) in sorted(new.items()):
 for name in missing:
     print(f"  MISSING {name}: required benchmark not in fresh run "
           f"(renamed or deleted?)")
+
+# Pair gate: the virtual policy hook vs the same clock inlined, both
+# from this run (so host noise cancels), must stay within 1.1x.
+if "BM_PolicyTouch" in new and "BM_PolicyTouchInline" in new:
+    t_virt, _ = new["BM_PolicyTouch"]
+    t_inl, _ = new["BM_PolicyTouchInline"]
+    ratio = t_virt / t_inl if t_inl else float("inf")
+    ok = ratio <= 1.1
+    print(f"  policy-hook overhead: {t_virt:.1f} vs {t_inl:.1f} ns "
+          f"({ratio:.2f}x, limit 1.10x)  "
+          f"{'OK' if ok else 'SLOW'}")
+    if not ok:
+        failed.append("BM_PolicyTouch vs BM_PolicyTouchInline")
 
 if failed or missing:
     parts = []

@@ -52,7 +52,7 @@ table4_db_response ablation_manager_mode ablation_coloring \
 ablation_prefetch ablation_discardable ablation_market \
 ablation_clock_batch ablation_placement ablation_page_size \
 ablation_paging_period table_robustness table_scaleout \
-table_tenants"
+table_tenants ablation_policy"
 
 if [ "$sanitize" = 1 ]; then
     echo "== sanitize: building asan preset and running tests"
@@ -122,7 +122,7 @@ if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
 fi
 
 if [ "$checkdet" = 1 ] && [ "$fail" = 0 ]; then
-    for b in table_scaleout table_tenants; do
+    for b in table_scaleout table_tenants ablation_policy; do
         echo "== determinism check: rerunning $b with --shards 8"
         "$bindir/$b" --jobs 1 --shards 8 --no-progress \
             --json="$out/$b.s8.json" >"$out/$b.s8.txt" 2>/dev/null ||

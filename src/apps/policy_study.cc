@@ -1,0 +1,128 @@
+#include "apps/policy_study.h"
+
+#include <memory>
+#include <vector>
+
+#include "policy/cache.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace vpp::apps {
+
+namespace {
+
+/** One recorded transaction: arrival instant + reference list span. */
+struct TxnRecord
+{
+    sim::SimTime arrival;
+    std::uint32_t first; ///< index into the flat trace
+    std::uint32_t count;
+    std::uint32_t misses = 0; ///< filled by the cache replay
+};
+
+struct TimedStudy
+{
+    TimedStudy(const PolicyStudyParams &p)
+        : params(p), cpus(sim, p.cpus)
+    {}
+
+    sim::Task<>
+    txn(sim::SimTime arrival, std::uint32_t misses)
+    {
+        // Demand paging first (frames come off disk without holding a
+        // CPU), then the transaction's compute slice.
+        if (misses)
+            co_await sim.delay(static_cast<sim::Duration>(misses) *
+                               params.faultDelay);
+        co_await cpus.acquire();
+        co_await cpus.compute(static_cast<sim::Duration>(
+            params.txnKInstr * 1e3 / params.mips * 1e3));
+        cpus.release();
+        resp.add(sim::toMsec(sim.now() - arrival));
+    }
+
+    sim::Task<>
+    arrivals(const std::vector<TxnRecord> &txns)
+    {
+        for (const TxnRecord &t : txns) {
+            co_await sim.delay(t.arrival - sim.now());
+            sim.spawn(txn(t.arrival, t.misses));
+        }
+    }
+
+    const PolicyStudyParams &params;
+    sim::Simulation sim;
+    sim::CpuPool cpus;
+    sim::Distribution resp;
+};
+
+} // namespace
+
+PolicyStudyResult
+runPolicyStudy(const PolicyStudyParams &params)
+{
+    // Phase 1 — record: arrival times and references come from two
+    // independent seeded streams, so the trace is a pure function of
+    // (workload, gen params, tps, duration) and identical for every
+    // policy under study.
+    RefGen gen(params.workload, params.gen);
+    sim::Random arrivalRng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<policy::PageId> trace;
+    std::vector<TxnRecord> txns;
+    sim::SimTime end = sim::sec(params.durationSec);
+    sim::SimTime t = 0;
+    for (;;) {
+        t += static_cast<sim::Duration>(
+            arrivalRng.exponential(1e9 / params.tps));
+        if (t >= end)
+            break;
+        TxnRecord rec;
+        rec.arrival = t;
+        rec.first = static_cast<std::uint32_t>(trace.size());
+        gen.nextTxn(trace);
+        rec.count =
+            static_cast<std::uint32_t>(trace.size()) - rec.first;
+        txns.push_back(rec);
+    }
+
+    // Phase 2 — replay: the whole trace through one bounded cache,
+    // attributing misses to transactions. Belady is built from this
+    // exact trace, so its replay is the offline optimum by
+    // construction.
+    policy::PolicyParams pp;
+    pp.capacityHint = params.cacheFrames;
+    pp.clockSecondChance = true;
+    pp.trace = &trace;
+    policy::PolicyCache cache(policy::make(params.kind, pp),
+                              params.cacheFrames);
+    for (TxnRecord &rec : txns) {
+        for (std::uint32_t i = 0; i < rec.count; ++i) {
+            if (!cache.access(trace[rec.first + i]))
+                ++rec.misses;
+        }
+    }
+
+    // Phase 3 — time it: Poisson arrivals, each transaction stalls
+    // faultDelay per miss and then computes on the CPU pool.
+    TimedStudy study(params);
+    study.sim.spawn(study.arrivals(txns));
+    study.sim.run();
+
+    PolicyStudyResult r;
+    r.txns = txns.size();
+    r.refs = cache.accesses();
+    r.hits = cache.hits();
+    r.misses = cache.misses();
+    r.evictions = cache.evictions();
+    r.missPct = 100.0 * cache.missRate();
+    r.avgMs = study.resp.mean();
+    r.p99Ms = study.resp.percentile(0.99);
+    r.worstMs = study.resp.max();
+    r.cpuUtilization = study.cpus.utilization();
+    r.policyStats = cache.policy().stats();
+    return r;
+}
+
+} // namespace vpp::apps

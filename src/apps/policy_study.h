@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Policy × workload study behind bench/ablation_policy: record a
+ * deterministic reference string (src/apps/refgen.h), replay it
+ * through a capacity-bounded PolicyCache for the chosen replacement
+ * policy, then run a timed transaction simulation where each miss
+ * costs a page-in stall — yielding both the miss rate and the
+ * transaction response-time distribution per policy.
+ *
+ * References are applied at transaction admission, in arrival order,
+ * so the replayed access sequence IS the recorded trace for every
+ * policy. That makes the comparison exact: all five policies (Belady
+ * included, replaying the same trace it was built from) see the
+ * identical reference string, and "Belady miss rate <= every online
+ * policy" is a theorem the bench can assert, not a statistical
+ * tendency.
+ */
+
+#ifndef VPP_APPS_POLICY_STUDY_H
+#define VPP_APPS_POLICY_STUDY_H
+
+#include <cstdint>
+
+#include "apps/refgen.h"
+#include "policy/kind.h"
+#include "policy/policy.h"
+#include "sim/time.h"
+
+namespace vpp::apps {
+
+struct PolicyStudyParams
+{
+    RefWorkload workload = RefWorkload::DebitCredit;
+    policy::Kind kind = policy::Kind::Clock;
+    RefGenParams gen;
+
+    std::uint64_t cacheFrames = 512; ///< resident capacity
+    int cpus = 4;
+    double mips = 30;
+    double tps = 100;          ///< Poisson arrival rate
+    double txnKInstr = 20;     ///< CPU work per transaction
+    sim::Duration faultDelay = sim::usec(500); ///< per page-in stall
+    double durationSec = 30;
+    std::uint64_t seed = 42;
+};
+
+struct PolicyStudyResult
+{
+    std::uint64_t txns = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double missPct = 0;
+    double avgMs = 0;
+    double p99Ms = 0;
+    double worstMs = 0;
+    double cpuUtilization = 0;
+    policy::PolicyStats policyStats;
+};
+
+PolicyStudyResult runPolicyStudy(const PolicyStudyParams &params);
+
+} // namespace vpp::apps
+
+#endif // VPP_APPS_POLICY_STUDY_H

@@ -1,0 +1,110 @@
+#include "apps/refgen.h"
+
+#include <algorithm>
+
+namespace vpp::apps {
+
+using policy::makePageId;
+
+namespace {
+
+// Pseudo-segment ids keep the relations apart inside one PageId
+// space; canonical PageId order stays (relation, page).
+constexpr std::uint32_t kBranchSeg = 1;
+constexpr std::uint32_t kTellerSeg = 2;
+constexpr std::uint32_t kAccountSeg = 3;
+constexpr std::uint32_t kHistorySeg = 4;
+constexpr std::uint32_t kHotSeg = 1;
+constexpr std::uint32_t kScanSeg = 2;
+constexpr std::uint32_t kZipfSeg = 1;
+
+} // namespace
+
+const char *
+refWorkloadName(RefWorkload w)
+{
+    switch (w) {
+    case RefWorkload::DebitCredit:
+        return "debitcredit";
+    case RefWorkload::Scan:
+        return "scan";
+    case RefWorkload::Zipf:
+        return "zipf";
+    }
+    return "?";
+}
+
+RefGen::RefGen(RefWorkload w, const RefGenParams &p)
+    : w_(w), p_(p), rng_(p.seed)
+{
+    if (w_ == RefWorkload::Zipf) {
+        // Exact harmonic weights 1/k: additions and divisions only,
+        // so the CDF is bit-identical on every IEEE host.
+        zipfCdf_.reserve(p_.zipfPages);
+        double sum = 0.0;
+        for (std::uint64_t k = 1; k <= p_.zipfPages; ++k) {
+            sum += 1.0 / static_cast<double>(k);
+            zipfCdf_.push_back(sum);
+        }
+    }
+}
+
+std::uint64_t
+RefGen::zipfPick()
+{
+    double u = rng_.uniform() * zipfCdf_.back();
+    auto it = std::upper_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return static_cast<std::uint64_t>(it - zipfCdf_.begin());
+}
+
+std::uint64_t
+RefGen::footprintPages() const
+{
+    switch (w_) {
+    case RefWorkload::DebitCredit:
+        return p_.branchPages + p_.tellerPages + p_.accountPages +
+               p_.historyPages;
+    case RefWorkload::Scan:
+        return p_.hotPages + p_.scanPages;
+    case RefWorkload::Zipf:
+        return p_.zipfPages;
+    }
+    return 0;
+}
+
+void
+RefGen::nextTxn(std::vector<policy::PageId> &out)
+{
+    switch (w_) {
+    case RefWorkload::DebitCredit:
+        out.push_back(
+            makePageId(kBranchSeg, rng_.below(p_.branchPages)));
+        out.push_back(
+            makePageId(kTellerSeg, rng_.below(p_.tellerPages)));
+        out.push_back(
+            makePageId(kAccountSeg, rng_.below(p_.accountPages)));
+        out.push_back(makePageId(
+            kHistorySeg, historyCursor_++ % p_.historyPages));
+        return;
+    case RefWorkload::Scan:
+        if (rng_.chance(p_.scanShare)) {
+            for (std::uint64_t i = 0; i < p_.scanChunk; ++i) {
+                out.push_back(makePageId(
+                    kScanSeg, (scanCursor_ + i) % p_.scanPages));
+            }
+            scanCursor_ = (scanCursor_ + p_.scanChunk) % p_.scanPages;
+        } else {
+            for (std::uint64_t i = 0; i < p_.hotRefsPerTxn; ++i) {
+                out.push_back(
+                    makePageId(kHotSeg, rng_.below(p_.hotPages)));
+            }
+        }
+        return;
+    case RefWorkload::Zipf:
+        for (std::uint64_t i = 0; i < p_.zipfRefsPerTxn; ++i)
+            out.push_back(makePageId(kZipfSeg, zipfPick()));
+        return;
+    }
+}
+
+} // namespace vpp::apps

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic page-reference generators for the policy ablation
+ * (ROADMAP item 3: "add scan-heavy and zipfian workloads where clock
+ * collapses"). Each generator produces one transaction's page
+ * references at a time, in access order, from a seeded sim::Random
+ * stream — so a recorded trace is reproducible bit-for-bit on every
+ * host, which is what lets bench/ablation_policy commit baselines and
+ * lets the Belady replay double as a live policy.
+ *
+ * Workloads:
+ *  - DebitCredit: TPC-A shape — one branch page (tiny hot set), one
+ *    teller page, one uniformly random account page (large, nearly
+ *    uncacheable), one cycling history append page.
+ *  - Scan: a hot-set OLTP stream polluted by periodic sequential
+ *    table scans — the classic case where a one-bit clock collapses
+ *    (every scanned page looks recently referenced) while SLRU/2Q
+ *    hold the hot set.
+ *  - Zipf: skewed random access, zipf(s = 1) over a large relation
+ *    via an inverse-CDF table of exact 1/k weights (basic IEEE ops
+ *    only, so the table is identical on every platform).
+ */
+
+#ifndef VPP_APPS_REFGEN_H
+#define VPP_APPS_REFGEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/policy.h"
+#include "sim/random.h"
+
+namespace vpp::apps {
+
+enum class RefWorkload
+{
+    DebitCredit,
+    Scan,
+    Zipf,
+};
+
+inline constexpr RefWorkload kAllRefWorkloads[] = {
+    RefWorkload::DebitCredit, RefWorkload::Scan, RefWorkload::Zipf};
+
+const char *refWorkloadName(RefWorkload w);
+
+struct RefGenParams
+{
+    std::uint64_t seed = 42;
+
+    // DebitCredit relation sizes, in pages.
+    std::uint64_t branchPages = 16;
+    std::uint64_t tellerPages = 64;
+    std::uint64_t accountPages = 4096;
+    std::uint64_t historyPages = 256;
+
+    // Scan: hotRefsPerTxn hot-set references per OLTP txn; a scan txn
+    // reads the next scanChunk pages of a scanPages-page relation
+    // (cyclic cursor, persists across txns).
+    std::uint64_t hotPages = 64;
+    std::uint64_t hotRefsPerTxn = 4;
+    std::uint64_t scanChunk = 32;
+    std::uint64_t scanPages = 4096;
+    double scanShare = 0.25; ///< fraction of txns that are scans
+
+    // Zipf.
+    std::uint64_t zipfPages = 4096;
+    std::uint64_t zipfRefsPerTxn = 6;
+};
+
+class RefGen
+{
+  public:
+    RefGen(RefWorkload w, const RefGenParams &p);
+
+    /** Append one transaction's references to @p out. */
+    void nextTxn(std::vector<policy::PageId> &out);
+
+    /** Distinct pages the workload can ever touch. */
+    std::uint64_t footprintPages() const;
+
+  private:
+    RefWorkload w_;
+    RefGenParams p_;
+    sim::Random rng_;
+    std::uint64_t historyCursor_ = 0;
+    std::uint64_t scanCursor_ = 0;
+    std::vector<double> zipfCdf_; ///< cumulative 1/k weights
+
+    std::uint64_t zipfPick();
+};
+
+} // namespace vpp::apps
+
+#endif // VPP_APPS_REFGEN_H

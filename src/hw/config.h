@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "policy/kind.h"
 #include "sim/time.h"
 
 namespace vpp::hw {
@@ -122,6 +123,16 @@ struct MachineConfig
      * UCDS 64 — both preserved by the default).
      */
     std::uint64_t mgrRequestBatch = 32;
+
+    /**
+     * Replacement policy driving the default manager's clockPass
+     * (src/policy). Clock — the default — reproduces the historical
+     * hard-wired sampling clock byte-identically; SLRU/2Q/WSClock
+     * swap in their own victim order; Belady cannot run online and
+     * makes manager construction throw (it exists for trace-replay
+     * harnesses).
+     */
+    policy::Kind replacementPolicy = policy::Kind::Clock;
 
     std::uint64_t frames() const { return memoryBytes / pageSize; }
 

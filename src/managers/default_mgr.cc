@@ -27,6 +27,12 @@ DefaultSegmentManager::DefaultSegmentManager(Kernel &k,
     requestBatch_ = params_.requestBatch
                         ? params_.requestBatch
                         : 2 * k.config().mgrRequestBatch;
+    policy::PolicyParams pp;
+    pp.capacityHint = k.config().frames();
+    // WSClock ages in simulated time here (setNow = sim ns); a
+    // frame-count-derived window would be meaningless.
+    pp.wsTau = static_cast<std::uint64_t>(sim::msec(100));
+    policy_ = policy::make(k.config().replacementPolicy, pp);
 }
 
 sim::Task<SegmentId>
@@ -71,9 +77,14 @@ DefaultSegmentManager::createAnonymous(std::string name,
 sim::Task<>
 DefaultSegmentManager::segmentClosed(Kernel &k, SegmentId s)
 {
+    // Persistent policies drop the segment's pages before the frames
+    // go away (the Clock policy rebuilds per pass and keeps nothing).
+    if (!policy_->interleavedSweep() && k.segmentExists(s)) {
+        for (const auto &[page, entry] : k.segment(s).pages())
+            policy_->remove(policy::makePageId(s, page));
+    }
     co_await GenericSegmentManager::segmentClosed(k, s);
     managed_.erase(s);
-    clockHand_.erase(s);
 }
 
 sim::Task<>
@@ -96,9 +107,24 @@ DefaultSegmentManager::fillPage(Kernel &k, const Fault &f,
 }
 
 sim::Task<>
+DefaultSegmentManager::afterFault(Kernel &k, const Fault &f)
+{
+    // Live admission stream for persistent policies (2Q's ghost
+    // promotion needs to see faults as they happen). The Clock policy
+    // rebuilds from reference bits each pass and must not observe
+    // mid-pass events, or it would diverge from the legacy sweep.
+    (void)k;
+    if (!policy_->interleavedSweep())
+        policy_->insert(policy::makePageId(f.segment, f.page));
+    co_return;
+}
+
+sim::Task<>
 DefaultSegmentManager::handleProtection(Kernel &k, const Fault &f)
 {
     ++samplingFaults_;
+    if (!policy_->interleavedSweep())
+        policy_->touch(policy::makePageId(f.segment, f.page));
     // Re-enable a batch of contiguous pages to amortise sampling
     // faults (paper §2.3).
     std::uint64_t n = params_.protBatchPages;
@@ -141,6 +167,9 @@ sim::Task<std::uint64_t>
 DefaultSegmentManager::clockPass(std::uint64_t target_reclaim)
 {
     ++clockPasses_;
+    const bool interleaved = policy_->interleavedSweep();
+    policy_->beginPass(
+        static_cast<std::uint64_t>(kern().simulation().now()));
     std::uint64_t reclaimed = 0;
     for (SegmentId sid : std::vector<SegmentId>(managed_.begin(),
                                                 managed_.end())) {
@@ -148,18 +177,22 @@ DefaultSegmentManager::clockPass(std::uint64_t target_reclaim)
             continue;
         kernel::Segment &seg = kern().segment(sid);
 
-        // Snapshot the candidate pages; reclaim mutates the map.
+        // Sample the segment in canonical page order: feed every
+        // unpinned page to the policy (the Clock policy's per-pass
+        // ring gets exactly the legacy snapshot) and collect the
+        // referenced ones for the flag sweep. Reclaim mutates the
+        // map, so sampling completes before any eviction.
         std::vector<PageIndex> referenced;
-        std::vector<PageIndex> cold;
         referenced.reserve(seg.pages().size());
-        cold.reserve(seg.pages().size());
         for (const auto &[page, entry] : seg.pages()) {
             if (entry.flags & flag::kPinned)
                 continue;
-            if (entry.flags & flag::kReferenced)
+            policy::PageId key = policy::makePageId(sid, page);
+            policy_->insert(key);
+            if (entry.flags & flag::kReferenced) {
                 referenced.push_back(page);
-            else
-                cold.push_back(page);
+                policy_->touch(key);
+            }
         }
 
         // Referenced pages survive but lose protection so the next
@@ -178,15 +211,45 @@ DefaultSegmentManager::clockPass(std::uint64_t target_reclaim)
             i = j + 1;
         }
 
-        // Unreferenced pages are reclaimed until the target is met.
-        for (PageIndex p : cold) {
+        // Segment-interleaved shape (Clock): evict from what has been
+        // sampled so far — this segment's unreferenced pages, in
+        // order — and early-exit once the target is met, leaving
+        // later segments untouched, exactly as the hard-wired clock
+        // always did.
+        if (interleaved) {
+            while (reclaimed < target_reclaim) {
+                std::optional<policy::PageId> v = policy_->victim();
+                if (!v)
+                    break;
+                co_await reclaimPage(kern(), policy::segmentOf(*v),
+                                     policy::pageOf(*v));
+                ++reclaimed;
+            }
             if (reclaimed >= target_reclaim)
                 break;
-            co_await reclaimPage(kern(), sid, p);
+        }
+    }
+
+    // Global shape (SLRU/2Q/WSClock): every segment sampled and
+    // rearmed first, then victims in policy order regardless of
+    // segment. Stale entries (pages gone via kernel bypass) are
+    // skipped without counting.
+    if (!interleaved) {
+        while (reclaimed < target_reclaim) {
+            std::optional<policy::PageId> v = policy_->victim();
+            if (!v)
+                break;
+            SegmentId vs = policy::segmentOf(*v);
+            PageIndex vp = policy::pageOf(*v);
+            if (!kern().segmentExists(vs))
+                continue;
+            const kernel::PageEntry *e =
+                kern().segment(vs).findPage(vp);
+            if (!e || (e->flags & flag::kPinned))
+                continue;
+            co_await reclaimPage(kern(), vs, vp);
             ++reclaimed;
         }
-        if (reclaimed >= target_reclaim)
-            break;
     }
     co_return reclaimed;
 }

@@ -20,10 +20,11 @@
 #define VPP_MANAGERS_DEFAULT_MGR_H
 
 #include <cstdint>
+#include <memory>
 #include <set>
-#include <unordered_map>
 
 #include "managers/generic.h"
+#include "policy/policy.h"
 #include "uio/block_io.h"
 #include "uio/file_server.h"
 
@@ -68,17 +69,29 @@ class DefaultSegmentManager : public GenericSegmentManager
                               kernel::SegmentId s) override;
 
     // ------------------------------------------------------------------
-    // Clock algorithm (reference sampling via protection revocation)
+    // Replacement pass (reference sampling via protection revocation)
     // ------------------------------------------------------------------
 
     /**
-     * One clock pass over all managed segments: pages referenced since
-     * the previous pass lose their protection (arming the sampler) and
-     * survive; pages still unreferenced are reclaimed until
-     * @p target_reclaim frames have been recovered. Returns frames
-     * reclaimed.
+     * One replacement pass over all managed segments, driven by the
+     * configured policy (MachineConfig::replacementPolicy). Pages
+     * referenced since the previous pass lose their protection
+     * (arming the sampler); the policy picks victims until
+     * @p target_reclaim frames have been recovered. With the default
+     * Clock policy the pass is segment-interleaved and byte-identical
+     * to the historical hard-wired clock (the name survives from that
+     * heritage); list-based policies sample every segment first and
+     * then evict in global policy order. Returns frames reclaimed.
      */
     sim::Task<std::uint64_t> clockPass(std::uint64_t target_reclaim);
+
+    /** The replacement policy driving clockPass. */
+    policy::ReplacementPolicy &replacementPolicy() { return *policy_; }
+    std::string_view
+    policyName() const
+    {
+        return policy::kindName(policy_->kind());
+    }
 
     /**
      * Write every dirty cached-file page back to the server without
@@ -104,6 +117,9 @@ class DefaultSegmentManager : public GenericSegmentManager
                          kernel::PageIndex dst_page,
                          kernel::PageIndex free_slot) override;
 
+    sim::Task<> afterFault(kernel::Kernel &k,
+                           const kernel::Fault &f) override;
+
     sim::Task<> handleProtection(kernel::Kernel &k,
                                  const kernel::Fault &f) override;
 
@@ -118,7 +134,7 @@ class DefaultSegmentManager : public GenericSegmentManager
     uio::FileRegistry *reg_;
     DefaultManagerParams params_;
     std::set<kernel::SegmentId> managed_;
-    std::unordered_map<kernel::SegmentId, kernel::PageIndex> clockHand_;
+    std::unique_ptr<policy::ReplacementPolicy> policy_;
     std::uint64_t samplingFaults_ = 0;
     std::uint64_t clockPasses_ = 0;
     bool syncRunning_ = false;

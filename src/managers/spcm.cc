@@ -236,13 +236,17 @@ SystemPageCacheManager::doGrant(ClientId c, kernel::SegmentId dst_seg,
     else if (pendingDemand_ > 0)
         --pendingDemand_;
 
-    // Conventional-clock comparator: a short grant sends the clock
-    // hand sweeping resident frames for victims before giving up.
+    // Conventional-policy comparator. A short grant under Clock (the
+    // legacy shape) sends the hand sweeping every resident frame for
+    // victims before giving up; list-based policies keep an eviction
+    // order and pay the scan only for the frames actually missing.
     if (sp_.clockScanPerFrame > 0 && frames.size() < slots.size()) {
-        std::uint64_t resident =
-            kern_->memory().numFrames() - freeFrames();
+        std::uint64_t scanned =
+            sp_.scanPolicy == policy::Kind::Clock
+                ? kern_->memory().numFrames() - freeFrames()
+                : slots.size() - frames.size();
         co_await kern_->simulation().delay(
-            static_cast<sim::Duration>(resident) *
+            static_cast<sim::Duration>(scanned) *
             sp_.clockScanPerFrame);
     }
 

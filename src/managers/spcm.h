@@ -53,6 +53,7 @@
 #include "ipc/port.h"
 #include "managers/market.h"
 #include "managers/slot_pool.h"
+#include "policy/kind.h"
 #include "sim/sync.h"
 
 namespace vpp::mgr {
@@ -121,6 +122,14 @@ struct SpcmParams
     /// held under the single-server lock. 0 (the default, and the
     /// V++ shape) skips the hunt: the market denies by price in O(1).
     sim::Duration clockScanPerFrame = 0;
+    /// Which policy the conventional comparator models. Clock (the
+    /// default, legacy shape) hunts: a short grant charges
+    /// clockScanPerFrame per *resident* frame under the serial lock.
+    /// List-based policies (SLRU/2Q/WSClock) maintain an eviction
+    /// order and charge only per *missing* frame. Meaningful only
+    /// with clockScanPerFrame > 0; the default is byte-identical to
+    /// the pre-policy comparator.
+    policy::Kind scanPolicy = policy::Kind::Clock;
 };
 
 /** Per-tenant fairness / starvation counters (stderr cost line, tests). */

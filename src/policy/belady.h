@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Belady's offline-optimal replacement (MIN): evict the resident page
+ * whose next use lies farthest in the future. Requires the complete
+ * reference string up front; the caller replays it access by access
+ * (insert on miss, touch on hit) and the policy verifies that the
+ * replayed sequence matches the recorded trace — a deviation means
+ * the harness recorded one workload and replayed another, which would
+ * silently invalidate the "lower bound" claim.
+ *
+ * next-use positions are precomputed in one backward sweep; victim
+ * selection keeps residents in a set ordered by (next use descending,
+ * PageId ascending), so ties — all pages never used again — break
+ * deterministically toward the lowest PageId.
+ */
+
+#ifndef VPP_POLICY_BELADY_H
+#define VPP_POLICY_BELADY_H
+
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class BeladyPolicy final : public ReplacementPolicy
+{
+  public:
+    static constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+
+    explicit BeladyPolicy(const std::vector<PageId> &trace)
+        : trace_(&trace)
+    {
+        // Backward sweep: next_[i] = position of the next reference
+        // to trace[i] after i, or kNever.
+        next_.assign(trace.size(), kNever);
+        std::unordered_map<PageId, std::uint64_t> last;
+        for (std::size_t i = trace.size(); i-- > 0;) {
+            auto it = last.find(trace[i]);
+            if (it != last.end())
+                next_[i] = it->second;
+            last[trace[i]] = i;
+        }
+    }
+
+    Kind kind() const override { return Kind::Belady; }
+
+    void
+    insert(PageId p) override
+    {
+        std::uint64_t nu = advance(p);
+        if (resident_.count(p))
+            return;
+        ++stats_.inserts;
+        resident_.emplace(p, nu);
+        order_.insert({nu, p});
+    }
+
+    void
+    touch(PageId p) override
+    {
+        std::uint64_t nu = advance(p);
+        auto it = resident_.find(p);
+        if (it == resident_.end())
+            return;
+        ++stats_.touches;
+        order_.erase({it->second, p});
+        it->second = nu;
+        order_.insert({nu, p});
+    }
+
+    std::optional<PageId>
+    victim() override
+    {
+        if (order_.empty())
+            return std::nullopt;
+        auto it = order_.begin(); // farthest next use, lowest id tie
+        PageId id = it->second;
+        resident_.erase(id);
+        order_.erase(it);
+        ++stats_.evictions;
+        return id;
+    }
+
+    void
+    remove(PageId p) override
+    {
+        auto it = resident_.find(p);
+        if (it == resident_.end())
+            return;
+        ++stats_.removes;
+        order_.erase({it->second, p});
+        resident_.erase(it);
+    }
+
+    bool contains(PageId p) const override { return resident_.count(p); }
+    std::uint64_t size() const override { return resident_.size(); }
+    std::uint64_t position() const { return cursor_; }
+
+  private:
+    /// Validate that the replay matches the recorded trace and return
+    /// the accessed page's next-use position.
+    std::uint64_t
+    advance(PageId p)
+    {
+        if (cursor_ >= trace_->size() || (*trace_)[cursor_] != p)
+            throw std::logic_error(
+                "belady: replayed access deviates from the recorded "
+                "trace");
+        return next_[cursor_++];
+    }
+
+    struct FarthestFirst
+    {
+        bool
+        operator()(const std::pair<std::uint64_t, PageId> &a,
+                   const std::pair<std::uint64_t, PageId> &b) const
+        {
+            if (a.first != b.first)
+                return a.first > b.first;
+            return a.second < b.second;
+        }
+    };
+
+    const std::vector<PageId> *trace_;
+    std::vector<std::uint64_t> next_;
+    std::uint64_t cursor_ = 0;
+    std::unordered_map<PageId, std::uint64_t> resident_;
+    std::set<std::pair<std::uint64_t, PageId>, FarthestFirst> order_;
+};
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_BELADY_H

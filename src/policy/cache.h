@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Capacity-bounded cache simulation over a ReplacementPolicy: the
+ * demand-paging harness behind bench/ablation_policy and the Belady
+ * replay. Every access ticks the policy clock, hits touch, misses
+ * evict (when full) and insert. Miss counts are a pure function of
+ * the access sequence, so replaying one recorded trace through each
+ * policy compares them on exactly equal terms — and replaying it
+ * through Belady yields the offline miss-rate lower bound.
+ */
+
+#ifndef VPP_POLICY_CACHE_H
+#define VPP_POLICY_CACHE_H
+
+#include <memory>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class PolicyCache
+{
+  public:
+    PolicyCache(std::unique_ptr<ReplacementPolicy> policy,
+                std::uint64_t capacityFrames);
+
+    /** One reference; returns true on hit. */
+    bool access(PageId p);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t a = accesses();
+        return a ? static_cast<double>(misses_) / a : 0.0;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+  private:
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::uint64_t capacity_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+/** Offline replay: miss rate of @p kind over @p trace at capacity. */
+double replayMissRate(Kind kind, const std::vector<PageId> &trace,
+                      std::uint64_t capacityFrames,
+                      PolicyParams params = {});
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_CACHE_H

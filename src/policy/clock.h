@@ -1,0 +1,158 @@
+/**
+ * @file
+ * One-bit clock, in the two shapes the repo needs:
+ *
+ *  - Pass mode (clockSecondChance = false, the manager default):
+ *    beginPass() empties the ring; the manager re-feeds it one
+ *    managed segment at a time in canonical (segment, page) order
+ *    (insert every unpinned page, touch the referenced ones) and
+ *    drains victims after each segment. The hand moves forward only
+ *    and never wraps, so referenced pages survive the pass — exactly
+ *    the legacy DefaultSegmentManager::clockPass semantics, which is
+ *    what keeps the committed baselines byte-identical.
+ *
+ *  - Second-chance mode (clockSecondChance = true, cache
+ *    simulations): a classic circular clock over a fixed slot array;
+ *    victim() clears reference bits as the hand passes and always
+ *    finds a victim while any page is resident.
+ */
+
+#ifndef VPP_POLICY_CLOCK_H
+#define VPP_POLICY_CLOCK_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class ClockPolicy final : public ReplacementPolicy
+{
+  public:
+    explicit ClockPolicy(const PolicyParams &p)
+        : secondChance_(p.clockSecondChance)
+    {}
+
+    Kind kind() const override { return Kind::Clock; }
+    bool interleavedSweep() const override { return !secondChance_; }
+
+    void
+    beginPass(std::uint64_t now) override
+    {
+        ReplacementPolicy::beginPass(now);
+        if (!secondChance_) {
+            slots_.clear();
+            index_.clear();
+            free_.clear();
+            hand_ = 0;
+        }
+    }
+
+    void
+    insert(PageId p) override
+    {
+        if (index_.count(p))
+            return;
+        ++stats_.inserts;
+        // Pass mode always appends: the hand only moves forward, so
+        // reusing a freed slot behind it would hide the page from the
+        // rest of the pass. beginPass() reclaims the tombstones.
+        if (secondChance_ && !free_.empty()) {
+            std::size_t s = free_.back();
+            free_.pop_back();
+            slots_[s] = Slot{p, false, true};
+            index_.emplace(p, s);
+        } else {
+            index_.emplace(p, slots_.size());
+            slots_.push_back(Slot{p, false, true});
+        }
+    }
+
+    void
+    touch(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.touches;
+        slots_[it->second].ref = true;
+    }
+
+    std::optional<PageId>
+    victim() override
+    {
+        if (index_.empty())
+            return std::nullopt;
+        if (!secondChance_) {
+            // Linear pass: skip referenced pages without clearing
+            // them (the pass itself already rearmed the sampler).
+            while (hand_ < slots_.size()) {
+                Slot &s = slots_[hand_];
+                if (!s.live || s.ref) {
+                    ++hand_;
+                    continue;
+                }
+                return evictAt(hand_++);
+            }
+            return std::nullopt;
+        }
+        // Circular second-chance sweep; bounded by two laps.
+        for (std::size_t n = 0; n < 2 * slots_.size() + 1; ++n) {
+            std::size_t s = hand_;
+            hand_ = (hand_ + 1) % slots_.size();
+            if (!slots_[s].live)
+                continue;
+            if (slots_[s].ref) {
+                slots_[s].ref = false;
+                continue;
+            }
+            return evictAt(s);
+        }
+        return std::nullopt; // unreachable with live entries
+    }
+
+    void
+    remove(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.removes;
+        slots_[it->second].live = false;
+        free_.push_back(it->second);
+        index_.erase(it);
+    }
+
+    bool contains(PageId p) const override { return index_.count(p); }
+    std::uint64_t size() const override { return index_.size(); }
+
+  private:
+    struct Slot
+    {
+        PageId id = 0;
+        bool ref = false;
+        bool live = false;
+    };
+
+    PageId
+    evictAt(std::size_t s)
+    {
+        PageId id = slots_[s].id;
+        slots_[s].live = false;
+        free_.push_back(s);
+        index_.erase(id);
+        ++stats_.evictions;
+        return id;
+    }
+
+    bool secondChance_;
+    std::vector<Slot> slots_; ///< ring in insertion order
+    std::vector<std::size_t> free_;
+    std::unordered_map<PageId, std::size_t> index_;
+    std::size_t hand_ = 0;
+};
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_CLOCK_H

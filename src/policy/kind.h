@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Replacement-policy selector enum.
+ *
+ * Kept free of the policy interface itself so configuration headers
+ * (hw/config.h, managers/spcm.h) and the sweep layer can name a
+ * policy without dragging in the implementations.
+ */
+
+#ifndef VPP_POLICY_KIND_H
+#define VPP_POLICY_KIND_H
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace vpp::policy {
+
+enum class Kind
+{
+    Clock,   ///< one-bit sampling clock (the legacy manager pass)
+    Slru,    ///< segmented LRU: probationary + protected segments
+    TwoQ,    ///< 2Q: A1in FIFO, A1out ghost list, Am LRU
+    WsClock, ///< working-set clock: ref bit + last-use age vs tau
+    Belady,  ///< offline optimal (requires a recorded trace)
+};
+
+inline constexpr std::array<Kind, 5> kAllKinds = {
+    Kind::Clock, Kind::Slru, Kind::TwoQ, Kind::WsClock, Kind::Belady};
+
+constexpr std::string_view
+kindName(Kind k)
+{
+    switch (k) {
+    case Kind::Clock:
+        return "clock";
+    case Kind::Slru:
+        return "slru";
+    case Kind::TwoQ:
+        return "2q";
+    case Kind::WsClock:
+        return "wsclock";
+    case Kind::Belady:
+        return "belady";
+    }
+    return "?";
+}
+
+constexpr std::optional<Kind>
+parseKind(std::string_view name)
+{
+    for (Kind k : kAllKinds)
+        if (name == kindName(k))
+            return k;
+    return std::nullopt;
+}
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_KIND_H

@@ -1,0 +1,77 @@
+#include "policy/policy.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "policy/belady.h"
+#include "policy/cache.h"
+#include "policy/clock.h"
+#include "policy/slru.h"
+#include "policy/two_q.h"
+#include "policy/wsclock.h"
+
+namespace vpp::policy {
+
+std::unique_ptr<ReplacementPolicy>
+make(Kind k, const PolicyParams &params)
+{
+    switch (k) {
+    case Kind::Clock:
+        return std::make_unique<ClockPolicy>(params);
+    case Kind::Slru:
+        return std::make_unique<SlruPolicy>(params);
+    case Kind::TwoQ:
+        return std::make_unique<TwoQPolicy>(params);
+    case Kind::WsClock:
+        return std::make_unique<WsClockPolicy>(params);
+    case Kind::Belady:
+        if (!params.trace)
+            throw std::invalid_argument(
+                "policy::make: belady needs a recorded trace "
+                "(params.trace); online managers cannot see the "
+                "future");
+        return std::make_unique<BeladyPolicy>(*params.trace);
+    }
+    throw std::invalid_argument("policy::make: unknown kind " +
+                                std::to_string(static_cast<int>(k)));
+}
+
+PolicyCache::PolicyCache(std::unique_ptr<ReplacementPolicy> policy,
+                         std::uint64_t capacityFrames)
+    : policy_(std::move(policy)),
+      capacity_(capacityFrames ? capacityFrames : 1)
+{}
+
+bool
+PolicyCache::access(PageId p)
+{
+    policy_->setNow(++clock_);
+    if (policy_->contains(p)) {
+        policy_->touch(p);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    while (policy_->size() >= capacity_) {
+        if (!policy_->victim())
+            break; // policy refuses (cannot happen when nonempty)
+        ++evictions_;
+    }
+    policy_->insert(p);
+    return false;
+}
+
+double
+replayMissRate(Kind kind, const std::vector<PageId> &trace,
+               std::uint64_t capacityFrames, PolicyParams params)
+{
+    params.capacityHint = capacityFrames;
+    params.clockSecondChance = true;
+    params.trace = &trace;
+    PolicyCache cache(make(kind, params), capacityFrames);
+    for (PageId p : trace)
+        cache.access(p);
+    return cache.missRate();
+}
+
+} // namespace vpp::policy

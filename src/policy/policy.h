@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Pluggable replacement-policy interface (ROADMAP item 3).
+ *
+ * The paper's central claim is that applications beat the kernel at
+ * paging policy. To measure that, policy must be a first-class axis:
+ * this interface is the clock logic extracted from
+ * DefaultSegmentManager::clockPass / the SPCM's conventional-clock
+ * comparator, narrow enough that five very different policies fit
+ * behind it — the legacy sampling Clock, segmented LRU, 2Q, WSClock,
+ * and a trace-driven Belady offline optimum.
+ *
+ * Contract (see DESIGN.md "Replacement-policy invariants"):
+ *
+ *  - insert(p) makes an absent page known/resident (no-op if present);
+ *    touch(p) records a reference (no-op if absent); victim() chooses
+ *    AND removes the eviction victim; remove(p) is an external
+ *    removal (segment teardown, kernel bypass).
+ *  - Determinism: every decision is a pure function of the call
+ *    sequence. Implementations order state by insertion/recency lists
+ *    or by (key, PageId) pairs — never by pointer value or hash-table
+ *    iteration order — so identical call sequences yield identical
+ *    victim sequences on every host.
+ *  - Tie-breaking is by lowest PageId (equivalently lowest slot/ring
+ *    position, which insertion order makes the same thing) whenever a
+ *    policy's primary key ties.
+ *  - interleavedSweep() splits the manager pass into two shapes: the
+ *    Clock policy reproduces the legacy segment-interleaved pass
+ *    (sample a segment, then evict from what has been sampled so far,
+ *    early-exit once the target is met) byte-identically; list-based
+ *    policies sample every managed segment first and then evict in
+ *    global policy order.
+ */
+
+#ifndef VPP_POLICY_POLICY_H
+#define VPP_POLICY_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "policy/kind.h"
+
+namespace vpp::policy {
+
+/**
+ * Policy-visible page identity: (segment << 32) | page. Canonical
+ * ascending PageId order therefore equals the legacy clock's
+ * (segment, page) sweep order.
+ */
+using PageId = std::uint64_t;
+
+constexpr PageId
+makePageId(std::uint32_t seg, std::uint64_t page)
+{
+    // Segment page limits sit far below 2^32 pages; the packed form
+    // keeps canonical (segment, page) order as plain integer order.
+    return (static_cast<PageId>(seg) << 32) |
+           (page & 0xffffffffULL);
+}
+
+constexpr std::uint32_t
+segmentOf(PageId p)
+{
+    return static_cast<std::uint32_t>(p >> 32);
+}
+
+constexpr std::uint32_t
+pageOf(PageId p)
+{
+    return static_cast<std::uint32_t>(p);
+}
+
+/** Per-policy decision counters (bench cost lines, tests). */
+struct PolicyStats
+{
+    std::uint64_t inserts = 0;
+    std::uint64_t touches = 0;
+    std::uint64_t evictions = 0;  ///< victim() calls that returned one
+    std::uint64_t removes = 0;    ///< external removals honoured
+    std::uint64_t promotions = 0; ///< SLRU prot/2Q ghost-hit promotions
+    std::uint64_t demotions = 0;  ///< SLRU protected -> probationary
+    std::uint64_t passes = 0;     ///< beginPass() calls
+};
+
+/** Construction knobs; unused fields are ignored by other kinds. */
+struct PolicyParams
+{
+    /// Expected resident capacity; sizes SLRU's protected segment,
+    /// 2Q's A1in/A1out, and the WSClock default window.
+    std::uint64_t capacityHint = 0;
+    /// Clock only: true = circular second-chance sweep that always
+    /// finds a victim (demand-eviction caches); false = the manager's
+    /// linear sampling pass where referenced pages survive the pass.
+    bool clockSecondChance = false;
+    double slruProtectedShare = 0.75; ///< of capacityHint
+    double twoQInShare = 0.25;        ///< A1in share of capacityHint
+    double twoQGhostShare = 0.50;     ///< A1out entries / capacityHint
+    /// WSClock working-set window in setNow() units (access count or
+    /// simulated ns). 0 derives 2 * capacityHint (or 1 if no hint).
+    std::uint64_t wsTau = 0;
+    /// Belady only: the full reference string the caller will replay,
+    /// in exact access order. Must outlive the policy.
+    const std::vector<PageId> *trace = nullptr;
+};
+
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    virtual Kind kind() const = 0;
+
+    /// Legacy segment-interleaved manager pass (Clock) vs
+    /// sample-all-segments-then-evict (everything else).
+    virtual bool interleavedSweep() const { return false; }
+
+    /// Advance the policy's notion of "now" (WSClock ages; Belady and
+    /// the lists ignore it). Callers pass a monotone counter: access
+    /// number in cache simulations, simulated time in the manager.
+    virtual void setNow(std::uint64_t) {}
+
+    /// Manager-pass prologue. The Clock policy rebuilds its per-pass
+    /// ring here; persistent policies only take the timestamp.
+    virtual void
+    beginPass(std::uint64_t now)
+    {
+        ++stats_.passes;
+        setNow(now);
+    }
+
+    virtual void insert(PageId p) = 0;
+    virtual void touch(PageId p) = 0;
+    virtual std::optional<PageId> victim() = 0;
+    virtual void remove(PageId p) = 0;
+
+    virtual bool contains(PageId p) const = 0;
+    virtual std::uint64_t size() const = 0;
+
+    const PolicyStats &stats() const { return stats_; }
+
+  protected:
+    PolicyStats stats_;
+};
+
+/**
+ * Factory. Belady requires params.trace and throws
+ * std::invalid_argument without one (the manager path cannot provide
+ * a future reference string; only trace-replay harnesses can).
+ */
+std::unique_ptr<ReplacementPolicy> make(Kind k,
+                                        const PolicyParams &params = {});
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_POLICY_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Segmented LRU (TrustedSSD shape, SNIPPETS.md §3): a probationary
+ * segment that new pages enter and a protected segment reserved for
+ * pages referenced at least once while probationary. Victims come
+ * from the probationary LRU tail, so a one-shot scan marches through
+ * probation without displacing the protected working set; the
+ * protected segment is capacity-bounded and demotes its own LRU tail
+ * back to probation on overflow.
+ */
+
+#ifndef VPP_POLICY_SLRU_H
+#define VPP_POLICY_SLRU_H
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class SlruPolicy final : public ReplacementPolicy
+{
+  public:
+    explicit SlruPolicy(const PolicyParams &p)
+    {
+        std::uint64_t cap = p.capacityHint ? p.capacityHint : 1;
+        protectedCap_ = static_cast<std::uint64_t>(
+            cap * p.slruProtectedShare);
+        if (protectedCap_ == 0)
+            protectedCap_ = 1;
+    }
+
+    Kind kind() const override { return Kind::Slru; }
+
+    void
+    insert(PageId p) override
+    {
+        if (index_.count(p))
+            return;
+        ++stats_.inserts;
+        probation_.push_front(p);
+        index_.emplace(p, Where{probation_.begin(), false});
+    }
+
+    void
+    touch(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.touches;
+        if (it->second.prot) {
+            prot_.splice(prot_.begin(), prot_, it->second.it);
+            return;
+        }
+        // Promote: probationary page referenced again.
+        probation_.erase(it->second.it);
+        prot_.push_front(p);
+        it->second = Where{prot_.begin(), true};
+        ++stats_.promotions;
+        while (prot_.size() > protectedCap_) {
+            // Demote the protected LRU tail back to probation (MRU
+            // side: it was more recently useful than cold probation).
+            PageId d = prot_.back();
+            prot_.pop_back();
+            probation_.push_front(d);
+            index_[d] = Where{probation_.begin(), false};
+            ++stats_.demotions;
+        }
+    }
+
+    std::optional<PageId>
+    victim() override
+    {
+        std::list<PageId> *from =
+            !probation_.empty() ? &probation_
+                                : (!prot_.empty() ? &prot_ : nullptr);
+        if (!from)
+            return std::nullopt;
+        PageId id = from->back();
+        from->pop_back();
+        index_.erase(id);
+        ++stats_.evictions;
+        return id;
+    }
+
+    void
+    remove(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.removes;
+        (it->second.prot ? prot_ : probation_).erase(it->second.it);
+        index_.erase(it);
+    }
+
+    bool contains(PageId p) const override { return index_.count(p); }
+    std::uint64_t size() const override { return index_.size(); }
+
+    std::uint64_t probationSize() const { return probation_.size(); }
+    std::uint64_t protectedSize() const { return prot_.size(); }
+    std::uint64_t protectedCap() const { return protectedCap_; }
+
+  private:
+    struct Where
+    {
+        std::list<PageId>::iterator it;
+        bool prot;
+    };
+
+    std::uint64_t protectedCap_;
+    std::list<PageId> probation_; ///< front = MRU, back = victim
+    std::list<PageId> prot_;
+    std::unordered_map<PageId, Where> index_;
+};
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_SLRU_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * 2Q (Johnson & Shasha): scan resistance through admission control.
+ * New pages enter the A1in FIFO; only pages faulted again after
+ * falling off A1in into the A1out ghost list earn a place in the Am
+ * LRU. A sequential scan therefore flows through A1in and evicts only
+ * its own pages, never the Am working set.
+ */
+
+#ifndef VPP_POLICY_TWO_Q_H
+#define VPP_POLICY_TWO_Q_H
+
+#include <list>
+#include <unordered_map>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class TwoQPolicy final : public ReplacementPolicy
+{
+  public:
+    explicit TwoQPolicy(const PolicyParams &p)
+    {
+        std::uint64_t cap = p.capacityHint ? p.capacityHint : 1;
+        kin_ = static_cast<std::uint64_t>(cap * p.twoQInShare);
+        if (kin_ == 0)
+            kin_ = 1;
+        kout_ = static_cast<std::uint64_t>(cap * p.twoQGhostShare);
+        if (kout_ == 0)
+            kout_ = 1;
+    }
+
+    Kind kind() const override { return Kind::TwoQ; }
+
+    void
+    insert(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it != index_.end() && it->second.where != Where::Ghost)
+            return;
+        ++stats_.inserts;
+        if (it != index_.end()) {
+            // Ghost hit: the page proved it has reuse distance beyond
+            // A1in — admit straight into Am.
+            ++ghostHits_;
+            ++stats_.promotions;
+            ghost_.erase(it->second.it);
+            am_.push_front(p);
+            it->second = Entry{Where::Am, am_.begin()};
+            return;
+        }
+        a1in_.push_front(p);
+        index_.emplace(p, Entry{Where::In, a1in_.begin()});
+    }
+
+    void
+    touch(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end() || it->second.where == Where::Ghost)
+            return;
+        ++stats_.touches;
+        // Classic 2Q: A1in stays strictly FIFO (correlated references
+        // inside the admission window prove nothing); only Am reorders.
+        if (it->second.where == Where::Am)
+            am_.splice(am_.begin(), am_, it->second.it);
+    }
+
+    std::optional<PageId>
+    victim() override
+    {
+        if (!a1in_.empty() && (a1in_.size() > kin_ || am_.empty())) {
+            PageId id = a1in_.back();
+            a1in_.pop_back();
+            // Remember the eviction in the ghost list.
+            ghost_.push_front(id);
+            index_[id] = Entry{Where::Ghost, ghost_.begin()};
+            while (ghost_.size() > kout_) {
+                index_.erase(ghost_.back());
+                ghost_.pop_back();
+            }
+            ++stats_.evictions;
+            return id;
+        }
+        std::list<PageId> *from =
+            !am_.empty() ? &am_ : (!a1in_.empty() ? &a1in_ : nullptr);
+        if (!from)
+            return std::nullopt;
+        PageId id = from->back();
+        from->pop_back();
+        index_.erase(id);
+        ++stats_.evictions;
+        return id;
+    }
+
+    void
+    remove(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end() || it->second.where == Where::Ghost)
+            return;
+        ++stats_.removes;
+        listOf(it->second.where).erase(it->second.it);
+        index_.erase(it);
+    }
+
+    bool
+    contains(PageId p) const override
+    {
+        auto it = index_.find(p);
+        return it != index_.end() && it->second.where != Where::Ghost;
+    }
+
+    std::uint64_t
+    size() const override
+    {
+        return a1in_.size() + am_.size();
+    }
+
+    std::uint64_t a1inSize() const { return a1in_.size(); }
+    std::uint64_t amSize() const { return am_.size(); }
+    std::uint64_t ghostSize() const { return ghost_.size(); }
+    std::uint64_t ghostHits() const { return ghostHits_; }
+
+  private:
+    enum class Where
+    {
+        In,
+        Am,
+        Ghost
+    };
+
+    struct Entry
+    {
+        Where where;
+        std::list<PageId>::iterator it;
+    };
+
+    std::list<PageId> &
+    listOf(Where w)
+    {
+        return w == Where::In ? a1in_ : w == Where::Am ? am_ : ghost_;
+    }
+
+    std::uint64_t kin_;
+    std::uint64_t kout_;
+    std::uint64_t ghostHits_ = 0;
+    std::list<PageId> a1in_; ///< FIFO: front = newest
+    std::list<PageId> am_;   ///< LRU: front = MRU
+    std::list<PageId> ghost_;
+    std::unordered_map<PageId, Entry> index_;
+};
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_TWO_Q_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * WSClock (Carr & Hennessy): a circular clock whose hand evicts only
+ * pages outside the working-set window tau. Passing a referenced page
+ * clears its bit and stamps last-use = now; an unreferenced page
+ * older than tau is the victim. If a full sweep finds every page
+ * inside the window the oldest page is evicted anyway (the cache is
+ * simply smaller than the working set), tie broken by ring position.
+ */
+
+#ifndef VPP_POLICY_WSCLOCK_H
+#define VPP_POLICY_WSCLOCK_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace vpp::policy {
+
+class WsClockPolicy final : public ReplacementPolicy
+{
+  public:
+    explicit WsClockPolicy(const PolicyParams &p)
+    {
+        tau_ = p.wsTau ? p.wsTau
+                       : (p.capacityHint ? 2 * p.capacityHint : 1);
+    }
+
+    Kind kind() const override { return Kind::WsClock; }
+
+    void setNow(std::uint64_t now) override { now_ = now; }
+
+    void
+    insert(PageId p) override
+    {
+        if (index_.count(p))
+            return;
+        ++stats_.inserts;
+        if (!free_.empty()) {
+            std::size_t s = free_.back();
+            free_.pop_back();
+            slots_[s] = Slot{p, now_, false, true};
+            index_.emplace(p, s);
+        } else {
+            index_.emplace(p, slots_.size());
+            slots_.push_back(Slot{p, now_, false, true});
+        }
+    }
+
+    void
+    touch(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.touches;
+        slots_[it->second].ref = true;
+        slots_[it->second].lastUse = now_;
+    }
+
+    std::optional<PageId>
+    victim() override
+    {
+        if (index_.empty())
+            return std::nullopt;
+        // One full lap: first unreferenced page older than tau wins.
+        for (std::size_t n = 0; n < slots_.size(); ++n) {
+            std::size_t s = hand_;
+            hand_ = (hand_ + 1) % slots_.size();
+            Slot &e = slots_[s];
+            if (!e.live)
+                continue;
+            if (e.ref) {
+                e.ref = false;
+                e.lastUse = now_;
+                continue;
+            }
+            if (now_ - e.lastUse > tau_)
+                return evictAt(s);
+        }
+        // Whole ring inside the window: evict the oldest, lowest ring
+        // position first on ties.
+        std::size_t best = slots_.size();
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            if (!slots_[s].live)
+                continue;
+            if (best == slots_.size() ||
+                slots_[s].lastUse < slots_[best].lastUse)
+                best = s;
+        }
+        return evictAt(best);
+    }
+
+    void
+    remove(PageId p) override
+    {
+        auto it = index_.find(p);
+        if (it == index_.end())
+            return;
+        ++stats_.removes;
+        slots_[it->second].live = false;
+        free_.push_back(it->second);
+        index_.erase(it);
+    }
+
+    bool contains(PageId p) const override { return index_.count(p); }
+    std::uint64_t size() const override { return index_.size(); }
+    std::uint64_t tau() const { return tau_; }
+
+  private:
+    struct Slot
+    {
+        PageId id = 0;
+        std::uint64_t lastUse = 0;
+        bool ref = false;
+        bool live = false;
+    };
+
+    PageId
+    evictAt(std::size_t s)
+    {
+        PageId id = slots_[s].id;
+        slots_[s].live = false;
+        free_.push_back(s);
+        index_.erase(id);
+        ++stats_.evictions;
+        return id;
+    }
+
+    std::uint64_t tau_;
+    std::uint64_t now_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<std::size_t> free_;
+    std::unordered_map<PageId, std::size_t> index_;
+    std::size_t hand_ = 0;
+};
+
+} // namespace vpp::policy
+
+#endif // VPP_POLICY_WSCLOCK_H
